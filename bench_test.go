@@ -1,0 +1,244 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus micro-benchmarks of the kernels that dominate inference cost. The
+// experiment benchmarks run the bench harness in quick mode and write the
+// rendered tables to results/<name>.txt so `go test -bench=.` doubles as a
+// full reproduction run. Suites are trained once per process and cached.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/ppr"
+	"repro/internal/scalable"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// benchExperiment runs a registered experiment once per iteration and
+// persists its rendered output under results/.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := bench.QuickConfig()
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join("results", name+".txt")
+	for i := 0; i < b.N; i++ {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.Run(name, cfg, f); err != nil {
+			f.Close()
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(0, "ns/extra") // keep -benchmem output aligned
+	fmt.Fprintf(os.Stderr, "  [%s written]\n", path)
+}
+
+func BenchmarkTable1Complexity(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTable2Datasets(b *testing.B)          { benchExperiment(b, "table2") }
+func BenchmarkTable3ConfigTables(b *testing.B)      { benchExperiment(b, "config") }
+func BenchmarkTable5MainComparison(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTable6NodeDistributions(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7NAPAblation(b *testing.B)       { benchExperiment(b, "table7") }
+func BenchmarkTable8DistillAblation(b *testing.B)   { benchExperiment(b, "table8") }
+func BenchmarkTable9SIGN(b *testing.B)              { benchExperiment(b, "table9") }
+func BenchmarkTable10S2GC(b *testing.B)             { benchExperiment(b, "table10") }
+func BenchmarkTable11GAMLP(b *testing.B)            { benchExperiment(b, "table11") }
+func BenchmarkFigure4Tradeoff(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFigure5BatchSize(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFigure6Sensitivity(b *testing.B)      { benchExperiment(b, "fig6") }
+
+// --- kernel micro-benchmarks --------------------------------------------
+
+func BenchmarkGEMM128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(128, 128, 1, rng)
+	y := mat.Randn(128, 128, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMul(x, y)
+	}
+}
+
+func benchGraph(b *testing.B) (*synth.Dataset, *sparse.CSR) {
+	b.Helper()
+	cfg := synth.FlickrLike(1)
+	cfg.N = 2000
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, sparse.NormalizedAdjacency(ds.Graph.Adj, sparse.GammaSymmetric)
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	ds, adj := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj.MulDense(ds.Graph.Features)
+	}
+}
+
+func BenchmarkPropagateK4(b *testing.B) {
+	ds, adj := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scalable.Propagate(adj, ds.Graph.Features, 4)
+	}
+}
+
+// BenchmarkStationaryRank1 vs BenchmarkStationaryDense is the DESIGN.md
+// ablation: the rank-1 identity of Eq. 7 vs the naive O(n²f) path.
+func BenchmarkStationaryRank1(b *testing.B) {
+	ds, _ := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeStationary(ds.Graph.Adj, ds.Graph.Features, 0.5)
+	}
+}
+
+func BenchmarkStationaryDense(b *testing.B) {
+	cfg := synth.Tiny(1) // n² path: keep it small
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DenseStationaryReference(ds.Graph.Adj, ds.Graph.Features, 0.5)
+	}
+}
+
+// trainedSuite provides a cached trained model for inference benchmarks.
+func trainedSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	s, err := bench.GetSuite(bench.QuickConfig(), "flickr-like", "sgc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkInferenceVanilla(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(100)
+	opt := core.InferenceOptions{Mode: core.ModeFixed, TMin: 1, TMax: s.Model.K, BatchSize: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Dep.Infer(targets, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferenceNAIDistance(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(100)
+	set := s.SettingsDistance()[0]
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts,
+		TMin: set.TMin, TMax: set.TMax, BatchSize: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Dep.Infer(targets, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferenceNAIGate(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(100)
+	set := s.SettingsGate()[0]
+	opt := core.InferenceOptions{Mode: core.ModeGate, TMin: set.TMin,
+		TMax: set.TMax, BatchSize: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Dep.Infer(targets, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSupportRecompute isolates the engine's supporting-set
+// recomputation: after early-exit waves, shrinking the balls around the
+// remaining targets saves propagation work (DESIGN.md ablation).
+func BenchmarkAblationSupportRecompute(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(100)
+	set := s.SettingsDistance()[2] // accuracy-first: exits spread over depths
+	for _, variant := range []struct {
+		name   string
+		frozen bool
+	}{{"recompute", false}, {"frozen", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts,
+				TMin: set.TMin, TMax: set.TMax, BatchSize: 50,
+				NoSupportRecompute: variant.frozen}
+			var macs int
+			for i := 0; i < b.N; i++ {
+				res, err := s.Dep.Infer(targets, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				macs = res.MACs.Propagation
+			}
+			b.ReportMetric(float64(macs), "propMACs")
+		})
+	}
+}
+
+// BenchmarkPPRGoAggregation contrasts PPRGo's push-based PPR feature
+// aggregation (the paper's Related Works comparator) with NAI's
+// node-adaptive propagation on the same targets: compare against
+// BenchmarkInferenceNAIDistance above.
+func BenchmarkPPRGoAggregation(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(100)
+	g := s.DS.Graph
+	cfg := ppr.DefaultConfig()
+	b.ResetTimer()
+	var macs int
+	for i := 0; i < b.N; i++ {
+		_, _, m, err := ppr.AggregateFeatures(g.Adj, g.Features, targets, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		macs = m
+	}
+	b.ReportMetric(float64(macs), "aggMACs")
+}
+
+func BenchmarkGateDecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := core.NewGate("g", 64, rng)
+	xl := mat.Randn(100, 64, 1, rng)
+	xinf := mat.Randn(100, 64, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Decide(xl, xinf)
+	}
+}
+
+func BenchmarkDistanceDecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xl := mat.Randn(100, 64, 1, rng)
+	xinf := mat.Randn(100, 64, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.RowDistances(xl, xinf)
+	}
+}

@@ -1,0 +1,130 @@
+// Command naiinfer trains an NAI model, then runs batched adaptive
+// inference over the unseen test nodes under a chosen operating point and
+// prints the latency/MAC breakdown plus the depth distribution —
+// Algorithm 1 as a user would deploy it.
+//
+// Usage:
+//
+//	naiinfer -dataset arxiv-like -mode distance -ts-quantile 0.3 -tmax 3
+//	naiinfer -dataset arxiv-like -mode gate -tmax 5 -batch 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/scalable"
+	"repro/internal/synth"
+)
+
+func main() {
+	dataset := flag.String("dataset", "flickr-like", "dataset preset")
+	model := flag.String("model", "sgc", "base model")
+	mode := flag.String("mode", "distance", "NAP mode: fixed, distance, gate")
+	tsQuantile := flag.Float64("ts-quantile", 0.3, "distance threshold as a validation-distance quantile (distance mode)")
+	tmin := flag.Int("tmin", 1, "minimum propagation depth")
+	tmax := flag.Int("tmax", 0, "maximum propagation depth (0 = K)")
+	batch := flag.Int("batch", 100, "inference batch size")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", true, "shrink dataset and training")
+	load := flag.String("load", "", "load a trained model from this JSON file instead of training")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+	dcfg, err := cfg.Dataset(*dataset)
+	if err != nil {
+		fail(err)
+	}
+	ds, err := synth.Generate(dcfg)
+	if err != nil {
+		fail(err)
+	}
+	var m *core.Model
+	if *load != "" {
+		if m, err = core.LoadModelFile(*load); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded NAI model (K=%d) from %s\n", m.K, *load)
+	} else {
+		opt := cfg.TrainOptions(*model)
+		fmt.Printf("training NAI (%s, K=%d) on %s ...\n", *model, opt.K, dcfg.Name)
+		if m, err = core.Train(ds.Graph, ds.Split, opt); err != nil {
+			fail(err)
+		}
+	}
+	dep, err := core.NewDeployment(m, ds.Graph)
+	if err != nil {
+		fail(err)
+	}
+
+	iopt := core.InferenceOptions{TMin: *tmin, TMax: m.K, BatchSize: *batch}
+	if *tmax > 0 {
+		iopt.TMax = *tmax
+	}
+	switch *mode {
+	case "fixed":
+		iopt.Mode = core.ModeFixed
+	case "distance":
+		iopt.Mode = core.ModeDistance
+		iopt.Ts = tuneThreshold(dep, ds, m, *tsQuantile)
+		fmt.Printf("tuned T_s = %.4f (validation quantile %.2f)\n", iopt.Ts, *tsQuantile)
+	case "gate":
+		iopt.Mode = core.ModeGate
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	start := time.Now()
+	res, err := dep.Infer(ds.Split.Test, iopt)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	acc := metrics.Accuracy(res.Pred, ds.Graph.Labels, ds.Split.Test)
+	n := float64(res.NumTargets)
+	fmt.Printf("\n%d unseen nodes in %v (%.1f us/node)\n", res.NumTargets,
+		elapsed.Round(time.Millisecond), float64(res.TotalTime.Microseconds())/n)
+	fmt.Printf("accuracy: %.2f%%\n", 100*acc)
+	fmt.Printf("depth distribution (1..K): %v\n", res.NodesPerDepth[1:])
+	t := metrics.NewTable("per-node MAC breakdown (mMACs)",
+		"stationary", "propagation", "decision", "combine", "classification", "total")
+	t.AddRow(
+		fmt.Sprintf("%.4f", float64(res.MACs.Stationary)/n/1e6),
+		fmt.Sprintf("%.4f", float64(res.MACs.Propagation)/n/1e6),
+		fmt.Sprintf("%.4f", float64(res.MACs.Decision)/n/1e6),
+		fmt.Sprintf("%.4f", float64(res.MACs.Combine)/n/1e6),
+		fmt.Sprintf("%.4f", float64(res.MACs.Classification)/n/1e6),
+		fmt.Sprintf("%.4f", float64(res.MACs.Total())/n/1e6))
+	fmt.Println(t.Render())
+}
+
+// tuneThreshold converts a validation-distance quantile into T_s.
+func tuneThreshold(dep *core.Deployment, ds *synth.Dataset, m *core.Model, q float64) float64 {
+	feats := scalable.Propagate(dep.Adj, ds.Graph.Features, 1)
+	st := core.ComputeStationary(ds.Graph.Adj, ds.Graph.Features, m.Gamma)
+	val := ds.Split.Val
+	d := mat.RowDistances(feats[1].GatherRows(val), st.Rows(val))
+	sort.Float64s(d)
+	if len(d) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(d)-1))
+	return d[idx]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "naiinfer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command naitrain trains a full NAI model (base classifier, Inception
+// Distillation, gates) on a synthetic dataset and reports per-depth test
+// accuracy — the artifact a user would inspect before picking an
+// inference operating point.
+//
+// Usage:
+//
+//	naitrain -dataset products-like -model sgc -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func main() {
+	dataset := flag.String("dataset", "flickr-like", "dataset preset: flickr-like, arxiv-like, products-like, tiny")
+	graphFile := flag.String("graph", "", "load an external graph file instead of a preset (see internal/graph text format)")
+	model := flag.String("model", "sgc", "base model: sgc, sign, s2gc, gamlp")
+	k := flag.Int("k", 0, "max propagation depth (0 = model default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "shrink dataset and training")
+	save := flag.String("save", "", "write the trained model to this JSON file")
+	trainFrac := flag.Float64("train-frac", 0.5, "training fraction for -graph files")
+	valFrac := flag.Float64("val-frac", 0.2, "validation fraction for -graph files")
+	flag.Parse()
+
+	var ds *synth.Dataset
+	var name string
+	if *graphFile != "" {
+		g, err := graph.ReadGraphFile(*graphFile)
+		if err != nil {
+			fail(err)
+		}
+		split := graph.RandomSplit(g, *trainFrac, *valFrac, rand.New(rand.NewSource(*seed)))
+		ds = &synth.Dataset{Graph: g, Split: split}
+		name = *graphFile
+	} else {
+		var dcfg synth.Config
+		var err error
+		if *dataset == "tiny" {
+			dcfg = synth.Tiny(*seed)
+		} else {
+			cfg := bench.DefaultConfig()
+			if *quick {
+				cfg = bench.QuickConfig()
+			}
+			cfg.Seed = *seed
+			dcfg, err = cfg.Dataset(*dataset)
+			if err != nil {
+				fail(err)
+			}
+		}
+		if ds, err = synth.Generate(dcfg); err != nil {
+			fail(err)
+		}
+		name = dcfg.Name
+	}
+	fmt.Printf("dataset %s: n=%d m=%d f=%d c=%d (train/val/test %d/%d/%d)\n",
+		name, ds.Graph.N(), ds.Graph.M(), ds.Graph.F(), ds.Graph.NumClasses,
+		len(ds.Split.Train), len(ds.Split.Val), len(ds.Split.Test))
+
+	bcfg := bench.DefaultConfig()
+	if *quick {
+		bcfg = bench.QuickConfig()
+	}
+	bcfg.Seed = *seed
+	opt := bcfg.TrainOptions(*model)
+	if *k > 0 {
+		opt.K = *k
+	}
+	fmt.Printf("training NAI (%s, K=%d) ...\n", *model, opt.K)
+	start := time.Now()
+	m, err := core.Train(ds.Graph, ds.Split, opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("trained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	dep, err := core.NewDeployment(m, ds.Graph)
+	if err != nil {
+		fail(err)
+	}
+	t := metrics.NewTable("per-depth classifier accuracy on the unseen test set",
+		"depth", "ACC (%)")
+	for l := 1; l <= m.K; l++ {
+		res, err := dep.Infer(ds.Split.Test, core.InferenceOptions{
+			Mode: core.ModeFixed, TMin: 1, TMax: l, BatchSize: 100})
+		if err != nil {
+			fail(err)
+		}
+		acc := metrics.Accuracy(res.Pred, ds.Graph.Labels, ds.Split.Test)
+		t.AddRow(fmt.Sprint(l), fmt.Sprintf("%.2f", 100*acc))
+	}
+	fmt.Println(t.Render())
+	if m.Gates != nil {
+		fmt.Println("gates trained for depths 1 ..", m.K-1)
+	}
+	if *save != "" {
+		if err := m.SaveFile(*save); err != nil {
+			fail(err)
+		}
+		fmt.Println("model saved to", *save)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "naitrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Accelerating
+// Scalable Graph Neural Network Inference with Node-Adaptive Propagation"
+// (ICDE 2024). See README.md for the architecture overview, DESIGN.md for
+// the system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// The root package only anchors the module; all functionality lives in
+// internal/... packages, the cmd/... binaries and the runnable examples.
+package repro

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testConfig is even smaller than QuickConfig: tests only need the
+// machinery to work, not meaningful numbers.
+func testConfig() Config {
+	return Config{Seed: 1, Runs: 1, BatchSize: 50, Quick: true}
+}
+
+func TestConfigDatasets(t *testing.T) {
+	cfg := testConfig()
+	for _, name := range DatasetNames() {
+		dcfg, err := cfg.Dataset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dcfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := cfg.Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestConfigTrainOptions(t *testing.T) {
+	cfg := testConfig()
+	for _, model := range []string{"sgc", "sign", "s2gc", "gamlp"} {
+		opt := cfg.TrainOptions(model)
+		if opt.Model != model {
+			t.Fatalf("model %q", opt.Model)
+		}
+		if opt.K < 1 {
+			t.Fatalf("%s: K=%d", model, opt.K)
+		}
+	}
+	full := DefaultConfig().TrainOptions("sgc")
+	quick := QuickConfig().TrainOptions("sgc")
+	if quick.Base.Epochs >= full.Base.Epochs {
+		t.Fatal("quick mode should shrink training")
+	}
+}
+
+func TestGetSuiteCaches(t *testing.T) {
+	cfg := testConfig()
+	a, err := GetSuite(cfg, "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GetSuite(cfg, "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("suite not cached")
+	}
+}
+
+func TestSuiteSettings(t *testing.T) {
+	s, err := GetSuite(testConfig(), "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.SettingsDistance()
+	if d[0].TMax > d[2].TMax {
+		t.Fatal("speed-first setting should truncate earlier")
+	}
+	for _, set := range d {
+		if set.TMin < 1 || set.TMax > s.Model.K || set.TMin > set.TMax {
+			t.Fatalf("invalid setting %+v", set)
+		}
+		if set.Ts < 0 {
+			t.Fatalf("negative threshold %+v", set)
+		}
+	}
+	g := s.SettingsGate()
+	if g[2].TMax != s.Model.K {
+		t.Fatal("accuracy-first gate setting should reach K")
+	}
+}
+
+func TestDistanceQuantileMonotone(t *testing.T) {
+	s, err := GetSuite(testConfig(), "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := s.DistanceQuantile(1, 0.1)
+	hi := s.DistanceQuantile(1, 0.9)
+	if lo > hi {
+		t.Fatalf("quantiles not monotone: %v > %v", lo, hi)
+	}
+	// distances shrink with depth on average (smoothing toward X(∞))
+	d1 := s.DistanceQuantile(1, 0.5)
+	dk := s.DistanceQuantile(s.Model.K, 0.5)
+	if dk > d1 {
+		t.Fatalf("median distance grew with depth: %v -> %v", d1, dk)
+	}
+}
+
+func TestEvalVanillaAndNAI(t *testing.T) {
+	s, err := GetSuite(testConfig(), "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	van, err := s.EvalVanilla()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if van.Stats.ACC <= 1.0/float64(s.DS.Graph.NumClasses) {
+		t.Fatalf("vanilla accuracy %v at chance", van.Stats.ACC)
+	}
+	set := s.SettingsDistance()[0]
+	nai, err := s.EvalNAI(core.InferenceOptions{
+		Mode: core.ModeDistance, Ts: set.Ts, TMin: set.TMin, TMax: set.TMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nai.Stats.FPMMACs >= van.Stats.FPMMACs {
+		t.Fatalf("NAI FP MACs %v not below vanilla %v", nai.Stats.FPMMACs, van.Stats.FPMMACs)
+	}
+}
+
+func TestEvalBaselineUnknown(t *testing.T) {
+	s, err := GetSuite(testConfig(), "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EvalBaseline("nope"); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestEvalAllBaselines(t *testing.T) {
+	s, err := GetSuite(testConfig(), "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"glnn", "nosmog", "tinygnn", "quantization"} {
+		r, err := s.EvalBaseline(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if r.Stats.ACC <= 0 {
+			t.Fatalf("%s: zero accuracy", b)
+		}
+	}
+	// GLNN has no feature-processing cost; quantization does
+	g, _ := s.EvalBaseline("glnn")
+	q, _ := s.EvalBaseline("quantization")
+	if g.Stats.FPMMACs != 0 {
+		t.Fatal("GLNN FP MACs should be zero")
+	}
+	if q.Stats.FPMMACs == 0 {
+		t.Fatal("quantization FP MACs should be nonzero")
+	}
+}
+
+func TestTestSubset(t *testing.T) {
+	s, err := GetSuite(testConfig(), "flickr-like", "sgc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TestSubset(5); len(got) != 5 {
+		t.Fatalf("subset size %d", len(got))
+	}
+	if got := s.TestSubset(1 << 30); len(got) != len(s.DS.Split.Test) {
+		t.Fatal("oversized subset should cap")
+	}
+}
+
+func TestFigure5BatchSizes(t *testing.T) {
+	sizes := figure5BatchSizes(120)
+	for _, b := range sizes {
+		if b > 120 {
+			t.Fatalf("batch %d exceeds test size", b)
+		}
+	}
+	if got := figure5BatchSizes(10); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("tiny test set handling: %v", got)
+	}
+}
+
+func TestRegistryCoversPaper(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range Experiments() {
+		names[e.Name] = true
+		if e.Description == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, want := range ExperimentOrder() {
+		if !names[want] {
+			t.Fatalf("experiment %q missing from registry", want)
+		}
+	}
+	// every evaluation table and figure of the paper is covered
+	for _, want := range []string{"table1", "table2", "table5", "table6", "table7",
+		"table8", "table9", "table10", "table11", "fig4", "fig5", "fig6"} {
+		if !names[want] {
+			t.Fatalf("paper artifact %q not covered", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", testConfig(), &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table2", testConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"flickr-like", "arxiv-like", "products-like"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunConfigTablesOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("config", testConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sgc", "sign", "s2gc", "gamlp"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("config table missing %s", want)
+		}
+	}
+}
+
+func TestRunTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", testConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "O(kmf") || !strings.Contains(out, "vanilla") {
+		t.Fatalf("table1 output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a registered table/figure regenerator.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(Config, io.Writer) error
+}
+
+var registry = map[string]Experiment{
+	"table1":  {"table1", "complexity formulas + measured MAC cross-check", RunTable1},
+	"table2":  {"table2", "dataset properties", RunTable2},
+	"config":  {"config", "hyper-parameter tables (III/IV)", RunConfigTables},
+	"table5":  {"table5", "main inference comparison under SGC", RunTable5},
+	"table6":  {"table6", "node-depth distributions", RunTable6},
+	"table7":  {"table7", "NAP ablation under different T_max", RunTable7},
+	"table8":  {"table8", "Inception Distillation ablation", RunTable8},
+	"table9":  {"table9", "generalization: SIGN", RunTable9},
+	"table10": {"table10", "generalization: S2GC", RunTable10},
+	"table11": {"table11", "generalization: GAMLP", RunTable11},
+	"fig4":    {"fig4", "accuracy vs latency trade-off", RunFigure4},
+	"fig5":    {"fig5", "batch-size study", RunFigure5},
+	"fig6":    {"fig6", "hyper-parameter sensitivity", RunFigure6},
+}
+
+// Experiments lists all registered experiments sorted by name.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ExperimentOrder is the presentation order used by "all".
+func ExperimentOrder() []string {
+	return []string{"table1", "table2", "config", "table5", "table6", "table7",
+		"table8", "table9", "table10", "table11", "fig4", "fig5", "fig6"}
+}
+
+// Run executes one experiment by name, or every experiment for "all".
+func Run(name string, cfg Config, w io.Writer) error {
+	if name == "all" {
+		for _, n := range ExperimentOrder() {
+			fmt.Fprintf(w, "=== %s ===\n", n)
+			if err := registry[n].Run(cfg, w); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	e, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (try: all, %v)", name, ExperimentOrder())
+	}
+	return e.Run(cfg, w)
+}

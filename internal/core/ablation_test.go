@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/scalable"
+	"repro/internal/sparse"
+)
+
+func TestNoSupportRecomputeSameResults(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	dep, _ := NewDeployment(m, ds.Graph)
+	base := InferenceOptions{Mode: ModeDistance, Ts: 0.8, TMin: 1, TMax: m.K}
+	frozen := base
+	frozen.NoSupportRecompute = true
+	a, err := dep.Infer(ds.Split.Test, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dep.Infer(ds.Split.Test, frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pred {
+		if a.Pred[i] != b.Pred[i] || a.Depths[i] != b.Depths[i] {
+			t.Fatal("freezing supporting sets changed results")
+		}
+	}
+	// recomputation can only reduce propagation work (equal when no exits)
+	if a.MACs.Propagation > b.MACs.Propagation {
+		t.Fatalf("recompute MACs %d > frozen %d", a.MACs.Propagation, b.MACs.Propagation)
+	}
+}
+
+func TestNoSupportRecomputeSavesNothingWithoutExits(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	dep, _ := NewDeployment(m, ds.Graph)
+	base := InferenceOptions{Mode: ModeDistance, Ts: 0, TMin: 1, TMax: m.K} // no exits
+	frozen := base
+	frozen.NoSupportRecompute = true
+	a, _ := dep.Infer(ds.Split.Test, base)
+	b, _ := dep.Infer(ds.Split.Test, frozen)
+	if a.MACs.Propagation != b.MACs.Propagation {
+		t.Fatal("without exits the two strategies must cost the same")
+	}
+}
+
+func TestHardGumbelGatesTrain(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	observed := append(append([]int(nil), ds.Split.Train...), ds.Split.Val...)
+	ind := ds.Graph.Induce(observed)
+	tg := ind.Graph
+	adj := sparse.NormalizedAdjacency(tg.Adj, m.Gamma)
+	feats := scalable.Propagate(adj, tg.Features, m.K)
+	inputs := make([]*mat.Matrix, m.K+1)
+	for l := 1; l <= m.K; l++ {
+		inputs[l] = m.Combiner.Combine(feats, l)
+	}
+	st := ComputeStationary(tg.Adj, tg.Features, m.Gamma)
+	trainIdx := localIndices(ind, ds.Split.Train)
+	gates := TrainGates(m, feats, inputs, st, tg.Labels, trainIdx, GateTrainConfig{
+		Epochs: 10, LR: 0.02, Tau: 1, HardGumbel: true, Seed: 5,
+	})
+	if gates == nil {
+		t.Fatal("hard-Gumbel training returned no gates")
+	}
+	// weights must have moved from their init
+	init := NewGate("ref", tg.F(), rand.New(rand.NewSource(5)))
+	if mat.Equal(gates[1].W.Value, init.W.Value) {
+		t.Fatal("gate weights unchanged")
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// Mode selects the node-adaptive propagation module for inference.
+type Mode int
+
+const (
+	// ModeFixed disables NAP: every node propagates to T_max and is
+	// classified by f^{(T_max)} (vanilla Scalable-GNN inference, and the
+	// "NAI w/o NAP" ablation when T_max < K).
+	ModeFixed Mode = iota
+	// ModeDistance is NAP_d: exit when ‖X^{(l)}_i − X(∞)_i‖ < T_s (Eq. 9).
+	ModeDistance
+	// ModeGate is NAP_g: exit when gate l's first logit wins (Eq. 13).
+	ModeGate
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeFixed:
+		return "fixed"
+	case ModeDistance:
+		return "distance"
+	case ModeGate:
+		return "gate"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// InferenceOptions are the serving-time knobs of Algorithm 1.
+type InferenceOptions struct {
+	Mode Mode
+	// Ts is the distance threshold of NAP_d (ignored by other modes).
+	Ts float64
+	// TMin and TMax bound the personalized propagation depth (1 ≤ TMin ≤ TMax ≤ K).
+	TMin, TMax int
+	// BatchSize splits the targets; ≤0 means one batch.
+	BatchSize int
+	// NoSupportRecompute freezes the supporting sets computed for the
+	// initial batch instead of shrinking them after each early-exit wave
+	// (ablation of the engine's set-recomputation optimization; results
+	// are identical, only propagation cost changes).
+	NoSupportRecompute bool
+}
+
+// Validate checks the options against a model.
+func (o InferenceOptions) Validate(m *Model) error {
+	if o.TMin < 1 || o.TMin > o.TMax || o.TMax > m.K {
+		return fmt.Errorf("core: need 1 ≤ TMin(%d) ≤ TMax(%d) ≤ K(%d)", o.TMin, o.TMax, m.K)
+	}
+	if o.Mode == ModeGate && m.Gates == nil && o.TMax > o.TMin {
+		return fmt.Errorf("core: gate mode requires trained gates")
+	}
+	return nil
+}
+
+// MACBreakdown counts multiply-accumulate operations per procedure,
+// matching the paper's evaluation protocol (§IV-A).
+type MACBreakdown struct {
+	Stationary     int // stationary-state computation (per batch)
+	Propagation    int // sparse feature propagation over supporting rows
+	Decision       int // distance computation or gate evaluation
+	Combine        int // model-specific feature combination (S²GC/GAMLP)
+	Classification int // classifier GEMMs
+}
+
+// Total sums all procedures.
+func (b MACBreakdown) Total() int {
+	return b.Stationary + b.Propagation + b.Decision + b.Combine + b.Classification
+}
+
+// FeatureProcessing is the paper's "FP MACs": propagation plus the
+// distance/gate procedure.
+func (b MACBreakdown) FeatureProcessing() int { return b.Propagation + b.Decision }
+
+func (b *MACBreakdown) add(o MACBreakdown) {
+	b.Stationary += o.Stationary
+	b.Propagation += o.Propagation
+	b.Decision += o.Decision
+	b.Combine += o.Combine
+	b.Classification += o.Classification
+}
+
+// Result aggregates one inference run.
+type Result struct {
+	// Pred[i] is the predicted class of targets[i].
+	Pred []int
+	// Depths[i] is the personalized propagation depth used for targets[i].
+	Depths []int
+	// NodesPerDepth[l] counts targets classified at depth l (1..K).
+	NodesPerDepth []int
+	MACs          MACBreakdown
+	// TotalTime covers stationary state, supporting-node sampling,
+	// propagation, decisions, combination and classification.
+	TotalTime time.Duration
+	// FPTime covers propagation and decisions only (the paper's "FP Time").
+	FPTime     time.Duration
+	NumTargets int
+}
+
+func (r *Result) merge(o *Result) {
+	r.Pred = append(r.Pred, o.Pred...)
+	r.Depths = append(r.Depths, o.Depths...)
+	for l := range o.NodesPerDepth {
+		r.NodesPerDepth[l] += o.NodesPerDepth[l]
+	}
+	r.MACs.add(o.MACs)
+	r.TotalTime += o.TotalTime
+	r.FPTime += o.FPTime
+	r.NumTargets += o.NumTargets
+}
+
+// Deployment is a model served against a full graph (which now includes
+// the unseen test nodes). It owns the normalized adjacency and reusable
+// propagation buffers; it is not safe for concurrent use.
+type Deployment struct {
+	Model *Model
+	Graph *graph.Graph
+	// Adj is the γ-normalized adjacency of the full serving graph.
+	Adj *sparse.CSR
+
+	buffers []*mat.Matrix // per-depth propagation buffers, lazily allocated
+}
+
+// NewDeployment prepares a model for serving on g.
+func NewDeployment(m *Model, g *graph.Graph) (*Deployment, error) {
+	if g.F() != m.FeatureDim {
+		return nil, fmt.Errorf("core: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	if g.NumClasses != m.NumClasses {
+		return nil, fmt.Errorf("core: graph classes %d != model %d", g.NumClasses, m.NumClasses)
+	}
+	return &Deployment{
+		Model: m,
+		Graph: g,
+		Adj:   sparse.NormalizedAdjacency(g.Adj, m.Gamma),
+	}, nil
+}
+
+// Infer runs Algorithm 1 over the targets in batches and aggregates.
+func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error) {
+	if err := opt.Validate(d.Model); err != nil {
+		return nil, err
+	}
+	agg := &Result{NodesPerDepth: make([]int, d.Model.K+1)}
+	batchSize := opt.BatchSize
+	if batchSize <= 0 {
+		batchSize = len(targets)
+	}
+	if len(targets) == 0 {
+		return agg, nil
+	}
+	for _, batch := range graph.Batches(targets, batchSize) {
+		agg.merge(d.inferBatch(batch, opt))
+	}
+	return agg, nil
+}
+
+// inferBatch is Algorithm 1 for one batch V_b.
+func (d *Deployment) inferBatch(targets []int, opt InferenceOptions) *Result {
+	m := d.Model
+	g := d.Graph
+	f := g.F()
+	res := &Result{
+		Pred:          make([]int, len(targets)),
+		Depths:        make([]int, len(targets)),
+		NodesPerDepth: make([]int, m.K+1),
+		NumTargets:    len(targets),
+	}
+	start := time.Now()
+
+	// Line 2: stationary state for the batch (skipped entirely without NAP).
+	var st *Stationary
+	var xinf *mat.Matrix // stationary rows aligned with `targets`
+	if opt.Mode != ModeFixed {
+		st = ComputeStationary(g.Adj, g.Features, m.Gamma)
+		xinf = st.Rows(targets)
+		res.MACs.Stationary = st.SumMACs + len(targets)*st.RowMACs()
+	}
+
+	d.ensureBuffers(opt.TMax, f)
+	feats := make([]*mat.Matrix, opt.TMax+1)
+	feats[0] = g.Features
+	for l := 1; l <= opt.TMax; l++ {
+		feats[l] = d.buffers[l]
+	}
+
+	// active[i] indexes into `targets`; global ids in activeNodes.
+	active := make([]int, len(targets))
+	for i := range active {
+		active[i] = i
+	}
+
+	var fpTime time.Duration
+	for l := 1; l <= opt.TMax; l++ {
+		// Line 3/5: supporting rows for this hop are the ball of radius
+		// TMax−l around the still-active targets; recomputing after each
+		// exit wave shrinks later hops (sampling counts in Time, not FP).
+		ballCenters := targets
+		if !opt.NoSupportRecompute {
+			ballCenters = gather(targets, active)
+		}
+		rows := graph.Ball(g.Adj, ballCenters, opt.TMax-l)
+
+		fpStart := time.Now()
+		res.MACs.Propagation += d.Adj.MulDenseRows(rows, feats[l-1], feats[l])
+		fpTime += time.Since(fpStart)
+
+		if l < opt.TMin {
+			continue // Line 6-7
+		}
+		if l < opt.TMax && opt.Mode != ModeFixed {
+			// Lines 9-13: decide and classify early exits.
+			decStart := time.Now()
+			exit := d.decide(l, feats[l], xinf, targets, active, opt, &res.MACs)
+			fpTime += time.Since(decStart)
+			if len(exit) > 0 {
+				d.classify(l, feats, targets, exit, res)
+				active = removeIndices(active, exit)
+				if len(active) == 0 {
+					break
+				}
+			}
+		} else if l == opt.TMax {
+			// Lines 16-17: everything left is classified at T_max.
+			d.classify(l, feats, targets, active, res)
+			active = nil
+		}
+	}
+	res.TotalTime = time.Since(start)
+	res.FPTime = fpTime
+	return res
+}
+
+// decide returns the subset of active (indices into targets) that exits at
+// depth l, charging decision MACs.
+func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
+	opt InferenceOptions, macs *MACBreakdown) []int {
+
+	f := xl.Cols
+	var exit []int
+	switch opt.Mode {
+	case ModeDistance:
+		// ∆^{(l)}_i = ‖X^{(l)}_i − X(∞)_i‖ < T_s  (Eqs. 8-9)
+		for _, ti := range active {
+			row := xl.Row(targets[ti])
+			ref := xinf.Row(ti)
+			var s float64
+			for j, v := range row {
+				diff := v - ref[j]
+				s += diff * diff
+			}
+			if s < opt.Ts*opt.Ts {
+				exit = append(exit, ti)
+			}
+		}
+		macs.Decision += len(active) * f
+	case ModeGate:
+		gate := d.Model.Gates[l]
+		xlRows := mat.New(len(active), f)
+		xinfRows := mat.New(len(active), f)
+		for k, ti := range active {
+			copy(xlRows.Row(k), xl.Row(targets[ti]))
+			copy(xinfRows.Row(k), xinf.Row(ti))
+		}
+		for k, ex := range gate.Decide(xlRows, xinfRows) {
+			if ex {
+				exit = append(exit, active[k])
+			}
+		}
+		macs.Decision += len(active) * gate.MACsPerRow()
+	}
+	return exit
+}
+
+// classify predicts the given target indices with classifier f^{(l)},
+// charging combine and classification MACs.
+func (d *Deployment) classify(l int, feats []*mat.Matrix, targets []int, idx []int, res *Result) {
+	if len(idx) == 0 {
+		return
+	}
+	nodes := gather(targets, idx)
+	stack := make([]*mat.Matrix, l+1)
+	for j := 0; j <= l; j++ {
+		stack[j] = feats[j].GatherRows(nodes)
+	}
+	input := d.Model.Combiner.Combine(stack, l)
+	clf := d.Model.Classifiers[l]
+	pred := clf.Predict(input)
+	for k, ti := range idx {
+		res.Pred[ti] = pred[k]
+		res.Depths[ti] = l
+	}
+	res.NodesPerDepth[l] += len(idx)
+	res.MACs.Combine += len(idx) * d.Model.Combiner.MACsPerRow(l, d.Graph.F())
+	res.MACs.Classification += len(idx) * clf.MACsPerRow()
+}
+
+func (d *Deployment) ensureBuffers(tmax, f int) {
+	for len(d.buffers) <= tmax {
+		d.buffers = append(d.buffers, nil)
+	}
+	n := d.Graph.N()
+	for l := 1; l <= tmax; l++ {
+		if d.buffers[l] == nil || d.buffers[l].Rows != n || d.buffers[l].Cols != f {
+			d.buffers[l] = mat.New(n, f)
+		}
+	}
+}
+
+func gather(targets []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = targets[v]
+	}
+	return out
+}
+
+// removeIndices returns active minus the sorted-by-membership removal set.
+func removeIndices(active, remove []int) []int {
+	rm := make(map[int]bool, len(remove))
+	for _, v := range remove {
+		rm[v] = true
+	}
+	out := active[:0]
+	for _, v := range active {
+		if !rm[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

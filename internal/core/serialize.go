@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/scalable"
+)
+
+// modelFormatVersion guards against loading files written by incompatible
+// revisions of the on-disk schema.
+const modelFormatVersion = 1
+
+type matrixJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+func toMatrixJSON(m *mat.Matrix) matrixJSON {
+	return matrixJSON{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+func (j matrixJSON) matrix() (*mat.Matrix, error) {
+	if len(j.Data) != j.Rows*j.Cols {
+		return nil, fmt.Errorf("core: matrix payload %d != %d×%d", len(j.Data), j.Rows, j.Cols)
+	}
+	return mat.FromData(j.Rows, j.Cols, j.Data), nil
+}
+
+type mlpJSON struct {
+	Weights []matrixJSON `json:"weights"`
+	Biases  []matrixJSON `json:"biases"`
+	Dropout float64      `json:"dropout"`
+}
+
+type modelJSON struct {
+	Version        int          `json:"version"`
+	K              int          `json:"k"`
+	Gamma          float64      `json:"gamma"`
+	NumClasses     int          `json:"num_classes"`
+	FeatureDim     int          `json:"feature_dim"`
+	Model          string       `json:"model"`
+	Classifiers    []mlpJSON    `json:"classifiers"` // depths 1..K
+	Gates          []matrixJSON `json:"gates,omitempty"`
+	CombinerScores []matrixJSON `json:"combiner_scores,omitempty"` // GAMLP attention
+}
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{
+		Version:    modelFormatVersion,
+		K:          m.K,
+		Gamma:      m.Gamma,
+		NumClasses: m.NumClasses,
+		FeatureDim: m.FeatureDim,
+		Model:      m.Combiner.Name(),
+	}
+	for l := 1; l <= m.K; l++ {
+		clf := m.Classifiers[l]
+		var mj mlpJSON
+		mj.Dropout = clf.Dropout
+		for i := range clf.Weights {
+			mj.Weights = append(mj.Weights, toMatrixJSON(clf.Weights[i].Value))
+			mj.Biases = append(mj.Biases, toMatrixJSON(clf.Biases[i].Value))
+		}
+		out.Classifiers = append(out.Classifiers, mj)
+	}
+	if m.Gates != nil {
+		for l := 1; l < m.K; l++ {
+			out.Gates = append(out.Gates, toMatrixJSON(m.Gates[l].W.Value))
+		}
+	}
+	if g, ok := m.Combiner.(*scalable.GAMLPCombiner); ok {
+		for _, s := range g.Scores {
+			out.CombinerScores = append(out.CombinerScores, toMatrixJSON(s.Value))
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SaveFile writes the model to a JSON file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model saved by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if in.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: model format version %d, want %d", in.Version, modelFormatVersion)
+	}
+	if in.K < 1 || len(in.Classifiers) != in.K {
+		return nil, fmt.Errorf("core: %d classifiers for K=%d", len(in.Classifiers), in.K)
+	}
+	m := &Model{
+		K:           in.K,
+		Gamma:       in.Gamma,
+		NumClasses:  in.NumClasses,
+		FeatureDim:  in.FeatureDim,
+		Classifiers: make([]*nn.MLP, in.K+1),
+	}
+	for l := 1; l <= in.K; l++ {
+		mj := in.Classifiers[l-1]
+		ws := make([]*mat.Matrix, len(mj.Weights))
+		bs := make([]*mat.Matrix, len(mj.Biases))
+		for i := range mj.Weights {
+			var err error
+			if ws[i], err = mj.Weights[i].matrix(); err != nil {
+				return nil, err
+			}
+			if bs[i], err = mj.Biases[i].matrix(); err != nil {
+				return nil, err
+			}
+		}
+		clf, err := nn.FromWeights(fmt.Sprintf("f%d", l), ws, bs, mj.Dropout)
+		if err != nil {
+			return nil, err
+		}
+		m.Classifiers[l] = clf
+	}
+	switch in.Model {
+	case "sgc":
+		m.Combiner = scalable.SGCCombiner{}
+	case "sign":
+		m.Combiner = scalable.SIGNCombiner{}
+	case "s2gc":
+		m.Combiner = scalable.S2GCCombiner{}
+	case "gamlp":
+		g := &scalable.GAMLPCombiner{}
+		for i, sj := range in.CombinerScores {
+			s, err := sj.matrix()
+			if err != nil {
+				return nil, err
+			}
+			g.Scores = append(g.Scores, nn.NewParam(fmt.Sprintf("gamlp.s%d", i), s))
+		}
+		if len(g.Scores) != in.K+1 {
+			return nil, fmt.Errorf("core: %d GAMLP scores for K=%d", len(g.Scores), in.K)
+		}
+		m.Combiner = g
+	default:
+		return nil, fmt.Errorf("core: unknown base model %q", in.Model)
+	}
+	if len(in.Gates) > 0 {
+		if len(in.Gates) != in.K-1 {
+			return nil, fmt.Errorf("core: %d gates for K=%d", len(in.Gates), in.K)
+		}
+		m.Gates = make([]*Gate, in.K)
+		for l := 1; l < in.K; l++ {
+			w, err := in.Gates[l-1].matrix()
+			if err != nil {
+				return nil, err
+			}
+			if w.Rows != 2*in.FeatureDim || w.Cols != 2 {
+				return nil, fmt.Errorf("core: gate %d shape %dx%d", l, w.Rows, w.Cols)
+			}
+			m.Gates[l] = &Gate{W: nn.NewParam(fmt.Sprintf("gate%d", l), w)}
+		}
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from a JSON file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K != m.K || loaded.Gamma != m.Gamma ||
+		loaded.NumClasses != m.NumClasses || loaded.FeatureDim != m.FeatureDim {
+		t.Fatal("metadata mismatch after round trip")
+	}
+	if loaded.Combiner.Name() != m.Combiner.Name() {
+		t.Fatal("combiner mismatch")
+	}
+
+	// loaded model must produce identical predictions and depths
+	depA, err := NewDeployment(m, ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depB, err := NewDeployment(loaded, ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []InferenceOptions{
+		{Mode: ModeFixed, TMin: 1, TMax: m.K},
+		{Mode: ModeDistance, Ts: 0.8, TMin: 1, TMax: m.K},
+		{Mode: ModeGate, TMin: 1, TMax: m.K},
+	} {
+		a, err := depA.Infer(ds.Split.Test, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := depB.Infer(ds.Split.Test, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Pred {
+			if a.Pred[i] != b.Pred[i] || a.Depths[i] != b.Depths[i] {
+				t.Fatalf("mode %v: loaded model diverges at %d", opt.Mode, i)
+			}
+		}
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	m := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K != m.K {
+		t.Fatal("file round trip broken")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"version":1,"k":2,"classifiers":[]}`)); err == nil {
+		t.Fatal("classifier count mismatch accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(
+		`{"version":1,"k":1,"model":"nope","classifiers":[{"weights":[{"rows":1,"cols":1,"data":[1]}],"biases":[{"rows":1,"cols":1,"data":[0]}]}]}`)); err == nil {
+		t.Fatal("unknown base model accepted")
+	}
+}
+
+func TestSaveLoadAllCombiners(t *testing.T) {
+	ds := tinyData(t)
+	for _, name := range []string{"sign", "s2gc", "gamlp"} {
+		opt := fastOptions(name)
+		opt.TrainGates = false
+		opt.DisableMultiScale = true
+		m, err := Train(ds.Graph, ds.Split, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loaded, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		depA, _ := NewDeployment(m, ds.Graph)
+		depB, _ := NewDeployment(loaded, ds.Graph)
+		iopt := InferenceOptions{Mode: ModeFixed, TMin: 1, TMax: m.K}
+		a, err := depA.Infer(ds.Split.Test, iopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := depB.Infer(ds.Split.Test, iopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Pred {
+			if a.Pred[i] != b.Pred[i] {
+				t.Fatalf("%s: prediction mismatch after round trip", name)
+			}
+		}
+	}
+}

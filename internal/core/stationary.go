@@ -1,0 +1,192 @@
+// Package core implements the paper's contribution: Node-Adaptive
+// Inference (NAI) for Scalable GNNs.
+//
+// It provides the stationary feature state X(∞) (Eqs. 6–7), the two
+// node-adaptive propagation modules — distance-based NAP_d (Eqs. 8–10) and
+// gate-based NAP_g (Eqs. 11–13) with end-to-end Gumbel-softmax training —
+// the batched inductive inference engine of Algorithm 1, and Inception
+// Distillation (Eqs. 14–21) for training the per-depth classifiers.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// Stationary is the rank-1 decomposition of the stationary feature state:
+//
+//	X(∞)_i = (d_i+1)^γ / (2m+n) · Σ_j (d_j+1)^{1−γ} x_j        (Eqs. 6–7)
+//
+// The global weighted feature sum Σ_j (d_j+1)^{1−γ} x_j is shared by every
+// node, so a batch row costs O(f) instead of the naive O(nf).
+type Stationary struct {
+	Gamma float64
+	// Scale is 1/(2m+n).
+	Scale float64
+	// WeightedSum is Σ_j (d_j+1)^{1−γ} x_j, length f.
+	WeightedSum []float64
+	// LoopedDeg is d_i+1 per node.
+	LoopedDeg []float64
+	// SumMACs is the multiply-accumulate cost of building WeightedSum
+	// (n·f), charged once per batch by the inference engine, mirroring
+	// Algorithm 1 line 2 which recomputes X(∞) per batch.
+	SumMACs int
+}
+
+// ComputeStationary builds the stationary state for the raw (un-normalized,
+// self-loop-free) adjacency and feature matrix.
+func ComputeStationary(adj *sparse.CSR, x *mat.Matrix, gamma float64) *Stationary {
+	if adj.Rows != x.Rows {
+		panic(fmt.Sprintf("core: %d adjacency rows for %d feature rows", adj.Rows, x.Rows))
+	}
+	n := adj.Rows
+	looped := sparse.LoopedDegrees(adj)
+	// 2m + n = total looped degree mass
+	denom := float64(adj.NNZ() + n)
+	s := &Stationary{
+		Gamma:       gamma,
+		Scale:       1 / denom,
+		WeightedSum: make([]float64, x.Cols),
+		LoopedDeg:   looped,
+		SumMACs:     n * x.Cols,
+	}
+	for j := 0; j < n; j++ {
+		w := math.Pow(looped[j], 1-gamma)
+		row := x.Row(j)
+		for c, v := range row {
+			s.WeightedSum[c] += w * v
+		}
+	}
+	return s
+}
+
+// Row writes X(∞)_i into dst (length f) and returns dst.
+func (s *Stationary) Row(i int, dst []float64) []float64 {
+	coef := math.Pow(s.LoopedDeg[i], s.Gamma) * s.Scale
+	for c, v := range s.WeightedSum {
+		dst[c] = coef * v
+	}
+	return dst
+}
+
+// Rows materializes X(∞) for the given nodes as a |nodes|×f matrix.
+func (s *Stationary) Rows(nodes []int) *mat.Matrix {
+	out := mat.New(len(nodes), len(s.WeightedSum))
+	for k, i := range nodes {
+		s.Row(i, out.Row(k))
+	}
+	return out
+}
+
+// Full materializes X(∞) for every node (used by tests and gate training).
+func (s *Stationary) Full() *mat.Matrix {
+	nodes := make([]int, len(s.LoopedDeg))
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return s.Rows(nodes)
+}
+
+// RowMACs is the per-row cost of materializing one stationary row
+// (one scale per feature).
+func (s *Stationary) RowMACs() int { return len(s.WeightedSum) }
+
+// DenseStationaryReference computes X(∞) via the explicit Â(∞) matrix of
+// Eq. (7) — the O(n²f) path the paper's complexity table assumes. It exists
+// for tests and for the rank-1-vs-dense ablation bench.
+func DenseStationaryReference(adj *sparse.CSR, x *mat.Matrix, gamma float64) *mat.Matrix {
+	n := adj.Rows
+	looped := sparse.LoopedDegrees(adj)
+	denom := float64(adj.NNZ() + n)
+	out := mat.New(n, x.Cols)
+	for i := 0; i < n; i++ {
+		dst := out.Row(i)
+		for j := 0; j < n; j++ {
+			w := math.Pow(looped[i], gamma) * math.Pow(looped[j], 1-gamma) / denom
+			src := x.Row(j)
+			for c, v := range src {
+				dst[c] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// SecondEigenvalueSymmetric estimates λ₂ of the symmetric normalization
+// (γ=0.5) by power iteration with deflation against the known dominant
+// eigenvector v1_i ∝ √(d_i+1). λ₂ appears in the paper's personalized-depth
+// upper bound (Eq. 10).
+func SecondEigenvalueSymmetric(adj *sparse.CSR, iters int) float64 {
+	norm := sparse.NormalizedAdjacency(adj, sparse.GammaSymmetric)
+	n := adj.Rows
+	looped := sparse.LoopedDegrees(adj)
+	v1 := make([]float64, n)
+	var v1norm float64
+	for i, d := range looped {
+		v1[i] = math.Sqrt(d)
+		v1norm += v1[i] * v1[i]
+	}
+	v1norm = math.Sqrt(v1norm)
+	for i := range v1 {
+		v1[i] /= v1norm
+	}
+	// start vector orthogonal to v1
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(float64(i + 1))
+	}
+	deflate := func(w []float64) {
+		var dot float64
+		for i := range w {
+			dot += w[i] * v1[i]
+		}
+		for i := range w {
+			w[i] -= dot * v1[i]
+		}
+	}
+	deflate(v)
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cols := norm.RowIndices(i)
+			vals := norm.RowValues(i)
+			var acc float64
+			for k, c := range cols {
+				acc += vals[k] * v[c]
+			}
+			w[i] = acc
+		}
+		deflate(w)
+		var wn float64
+		for _, x := range w {
+			wn += x * x
+		}
+		wn = math.Sqrt(wn)
+		if wn == 0 {
+			return 0
+		}
+		lambda = wn
+		for i := range w {
+			v[i] = w[i] / wn
+		}
+	}
+	return lambda
+}
+
+// DepthUpperBound evaluates the first term of the paper's Eq. (10):
+// log_{λ₂}(T_s · √((d_i+1)/(2m+n))), the topology-driven cap on node i's
+// personalized propagation depth. Returns +Inf when the bound is vacuous.
+func DepthUpperBound(ts float64, loopedDeg float64, totalMass float64, lambda2 float64) float64 {
+	if ts <= 0 || lambda2 <= 0 || lambda2 >= 1 {
+		return math.Inf(1)
+	}
+	arg := ts * math.Sqrt(loopedDeg/totalMass)
+	if arg >= 1 {
+		return 0
+	}
+	return math.Log(arg) / math.Log(lambda2)
+}

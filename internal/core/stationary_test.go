@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+func randomAdj(n int, p float64, rng *rand.Rand) *sparse.CSR {
+	var src, dst []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	return sparse.FromEdges(n, src, dst, true)
+}
+
+func TestStationaryMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	adj := randomAdj(20, 0.2, rng)
+	x := mat.Randn(20, 5, 1, rng)
+	for _, gamma := range []float64{0, 0.5, 1} {
+		st := ComputeStationary(adj, x, gamma)
+		got := st.Full()
+		want := DenseStationaryReference(adj, x, gamma)
+		if !mat.ApproxEqual(got, want, 1e-9) {
+			t.Fatalf("gamma=%v: rank-1 stationary differs from dense reference", gamma)
+		}
+	}
+}
+
+func TestStationaryIsFixpoint(t *testing.T) {
+	// Â·X(∞) = X(∞): the stationary state is invariant under propagation.
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		adj := randomAdj(15, 0.25, r)
+		x := mat.Randn(15, 4, 1, rng)
+		for _, gamma := range []float64{0, 0.5, 1} {
+			st := ComputeStationary(adj, x, gamma)
+			xinf := st.Full()
+			norm := sparse.NormalizedAdjacency(adj, gamma)
+			if !mat.ApproxEqual(norm.MulDense(xinf), xinf, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationaryIsPropagationLimit(t *testing.T) {
+	// Propagating many times converges to X(∞) on a connected graph.
+	rng := rand.New(rand.NewSource(3))
+	// ring of 12 nodes + chords: connected and aperiodic (self-loops added
+	// by normalization guarantee aperiodicity)
+	src := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0, 3}
+	dst := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0, 6, 9}
+	adj := sparse.FromEdges(12, src, dst, true)
+	x := mat.Randn(12, 3, 1, rng)
+	norm := sparse.NormalizedAdjacency(adj, sparse.GammaSymmetric)
+	prop := x
+	for i := 0; i < 400; i++ {
+		prop = norm.MulDense(prop)
+	}
+	st := ComputeStationary(adj, x, sparse.GammaSymmetric)
+	if !mat.ApproxEqual(prop, st.Full(), 1e-6) {
+		t.Fatal("propagation limit differs from closed-form stationary state")
+	}
+}
+
+func TestStationaryRowConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	adj := randomAdj(10, 0.3, rng)
+	x := mat.Randn(10, 4, 1, rng)
+	st := ComputeStationary(adj, x, 0.5)
+	rows := st.Rows([]int{3, 7})
+	buf := make([]float64, 4)
+	for k, i := range []int{3, 7} {
+		st.Row(i, buf)
+		for c := range buf {
+			if buf[c] != rows.At(k, c) {
+				t.Fatal("Row and Rows disagree")
+			}
+		}
+	}
+}
+
+func TestStationaryMACCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	adj := randomAdj(10, 0.3, rng)
+	x := mat.Randn(10, 4, 1, rng)
+	st := ComputeStationary(adj, x, 0.5)
+	if st.SumMACs != 10*4 {
+		t.Fatalf("SumMACs = %d", st.SumMACs)
+	}
+	if st.RowMACs() != 4 {
+		t.Fatalf("RowMACs = %d", st.RowMACs())
+	}
+}
+
+func TestStationaryDegreeMonotone(t *testing.T) {
+	// For γ=0.5, higher-degree nodes have larger-magnitude stationary rows
+	// ((d+1)^γ scaling), the mechanism behind the paper's observation that
+	// high-degree nodes smooth faster.
+	rng := rand.New(rand.NewSource(6))
+	// star: node 0 has degree 5, leaves degree 1
+	adj := sparse.FromEdges(6, []int{0, 0, 0, 0, 0}, []int{1, 2, 3, 4, 5}, true)
+	x := mat.Randn(6, 3, 1, rng)
+	st := ComputeStationary(adj, x, 0.5)
+	full := st.Full()
+	hub := norm2(full.Row(0))
+	leaf := norm2(full.Row(1))
+	if hub <= leaf {
+		t.Fatalf("hub stationary norm %v should exceed leaf %v", hub, leaf)
+	}
+}
+
+func TestSecondEigenvalueBelowOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	adj := randomAdj(30, 0.2, rng)
+	l2 := SecondEigenvalueSymmetric(adj, 200)
+	if l2 <= 0 || l2 >= 1 {
+		t.Fatalf("λ₂ = %v outside (0,1)", l2)
+	}
+}
+
+func TestSecondEigenvalueDensityOrdering(t *testing.T) {
+	// Denser graphs mix faster: λ₂ should be smaller.
+	rng := rand.New(rand.NewSource(8))
+	sparse_ := randomAdj(40, 0.05, rng)
+	dense := randomAdj(40, 0.5, rng)
+	if SecondEigenvalueSymmetric(dense, 300) >= SecondEigenvalueSymmetric(sparse_, 300) {
+		t.Fatal("λ₂ ordering violated for density")
+	}
+}
+
+func TestDepthUpperBound(t *testing.T) {
+	// Bound decreases with degree (first term of Eq. 10).
+	lo := DepthUpperBound(0.1, 2, 1000, 0.9)
+	hi := DepthUpperBound(0.1, 50, 1000, 0.9)
+	if hi >= lo {
+		t.Fatalf("bound should shrink with degree: d=2 → %v, d=50 → %v", lo, hi)
+	}
+	// vacuous cases
+	if !math.IsInf(DepthUpperBound(0, 2, 1000, 0.9), 1) {
+		t.Fatal("Ts=0 should be vacuous")
+	}
+	if !math.IsInf(DepthUpperBound(0.1, 2, 1000, 1.0), 1) {
+		t.Fatal("λ₂=1 should be vacuous")
+	}
+	if DepthUpperBound(100, 999, 1000, 0.9) != 0 {
+		t.Fatal("arg ≥ 1 should give bound 0")
+	}
+}
+
+func norm2(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

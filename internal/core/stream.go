@@ -1,0 +1,37 @@
+package core
+
+// Streaming front-end for the latency-sensitive scenarios the paper's
+// introduction motivates (fraud screening, session recommendation): a
+// deployment consumes requests from a channel and answers in arrival
+// order. The deployment's propagation buffers are reused across requests,
+// so a single goroutine owns the deployment — callers get concurrency by
+// fanning in requests, not by sharing the Deployment.
+
+// StreamRequest is one batch of unseen nodes to classify.
+type StreamRequest struct {
+	// Targets are node ids in the deployment graph.
+	Targets []int
+	// Opt selects the operating point; BatchSize ≤ 0 keeps the batch whole.
+	Opt InferenceOptions
+}
+
+// StreamResponse pairs a request's result with any error.
+type StreamResponse struct {
+	Result *Result
+	Err    error
+}
+
+// Serve launches a goroutine that processes requests in order until the
+// input channel closes, then closes the output channel. The returned
+// channel is buffered with the given capacity (0 = unbuffered).
+func (d *Deployment) Serve(in <-chan StreamRequest, buffer int) <-chan StreamResponse {
+	out := make(chan StreamResponse, buffer)
+	go func() {
+		defer close(out)
+		for req := range in {
+			res, err := d.Infer(req.Targets, req.Opt)
+			out <- StreamResponse{Result: res, Err: err}
+		}
+	}()
+	return out
+}

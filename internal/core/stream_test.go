@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestServeProcessesInOrder(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	dep, _ := NewDeployment(m, ds.Graph)
+
+	in := make(chan StreamRequest)
+	out := dep.Serve(in, 4)
+
+	opt := InferenceOptions{Mode: ModeGate, TMin: 1, TMax: m.K}
+	batches := [][]int{
+		ds.Split.Test[:5],
+		ds.Split.Test[5:12],
+		ds.Split.Test[12:13],
+	}
+	go func() {
+		for _, b := range batches {
+			in <- StreamRequest{Targets: b, Opt: opt}
+		}
+		close(in)
+	}()
+
+	var got []*Result
+	for resp := range out {
+		if resp.Err != nil {
+			t.Errorf("stream error: %v", resp.Err)
+			continue
+		}
+		got = append(got, resp.Result)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("%d responses for %d requests", len(got), len(batches))
+	}
+	for i, res := range got {
+		if res.NumTargets != len(batches[i]) {
+			t.Fatalf("response %d has %d targets, want %d (order broken?)",
+				i, res.NumTargets, len(batches[i]))
+		}
+	}
+
+	// responses must match direct inference
+	direct, err := dep.Infer(batches[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Pred {
+		if got[0].Pred[i] != direct.Pred[i] {
+			t.Fatal("streamed prediction differs from direct inference")
+		}
+	}
+}
+
+func TestServePropagatesErrors(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	dep, _ := NewDeployment(m, ds.Graph)
+	in := make(chan StreamRequest, 1)
+	in <- StreamRequest{Targets: ds.Split.Test[:2],
+		Opt: InferenceOptions{Mode: ModeFixed, TMin: 0, TMax: 99}} // invalid
+	close(in)
+	resp, ok := <-dep.Serve(in, 0)
+	if !ok {
+		t.Fatal("no response")
+	}
+	if resp.Err == nil {
+		t.Fatal("invalid options should surface as an error")
+	}
+}
+
+func TestServeClosesOutput(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	dep, _ := NewDeployment(m, ds.Graph)
+	in := make(chan StreamRequest)
+	out := dep.Serve(in, 0)
+	close(in)
+	select {
+	case _, ok := <-out:
+		if ok {
+			t.Fatal("unexpected response")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("output channel never closed")
+	}
+}

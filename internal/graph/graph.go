@@ -1,0 +1,240 @@
+// Package graph provides the graph container and the inductive-inference
+// machinery of the paper: train/val/test splits where test nodes are unseen
+// during training, induced training subgraphs, and k-hop supporting-set
+// extraction (the "supporting nodes" of the neighbor-explosion problem).
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// Graph is an undirected attributed graph for node classification.
+type Graph struct {
+	// Adj is the binary symmetric adjacency without self-loops.
+	Adj *sparse.CSR
+	// Features is the n×f node attribute matrix.
+	Features *mat.Matrix
+	// Labels holds one class id per node.
+	Labels []int
+	// NumClasses is the number of distinct classes.
+	NumClasses int
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.Adj.Rows }
+
+// M returns the number of undirected edges (stored entries / 2).
+func (g *Graph) M() int { return g.Adj.NNZ() / 2 }
+
+// F returns the feature dimension.
+func (g *Graph) F() int { return g.Features.Cols }
+
+// New validates and assembles a graph.
+func New(adj *sparse.CSR, features *mat.Matrix, labels []int, numClasses int) (*Graph, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("graph: adjacency %dx%d not square", adj.Rows, adj.Cols)
+	}
+	if features.Rows != adj.Rows {
+		return nil, fmt.Errorf("graph: %d feature rows for %d nodes", features.Rows, adj.Rows)
+	}
+	if len(labels) != adj.Rows {
+		return nil, fmt.Errorf("graph: %d labels for %d nodes", len(labels), adj.Rows)
+	}
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("graph: label %d of node %d outside [0,%d)", y, i, numClasses)
+		}
+	}
+	return &Graph{Adj: adj, Features: features, Labels: labels, NumClasses: numClasses}, nil
+}
+
+// Split partitions nodes for the inductive setting: the model is trained on
+// the subgraph induced by Train ∪ Val and evaluated on Test inside the full
+// graph, so test nodes (and their incident edges) are unseen at training time.
+type Split struct {
+	Train, Val, Test []int
+}
+
+// RandomSplit draws a class-stratified split with the given fractions
+// (fractions must be positive and sum to at most 1; any remainder joins Test).
+func RandomSplit(g *Graph, trainFrac, valFrac float64, rng *rand.Rand) Split {
+	if trainFrac <= 0 || valFrac <= 0 || trainFrac+valFrac >= 1 {
+		panic(fmt.Sprintf("graph: bad split fractions %v/%v", trainFrac, valFrac))
+	}
+	byClass := make([][]int, g.NumClasses)
+	for v, y := range g.Labels {
+		byClass[y] = append(byClass[y], v)
+	}
+	var sp Split
+	for _, nodes := range byClass {
+		rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+		nTrain := int(float64(len(nodes)) * trainFrac)
+		nVal := int(float64(len(nodes)) * valFrac)
+		sp.Train = append(sp.Train, nodes[:nTrain]...)
+		sp.Val = append(sp.Val, nodes[nTrain:nTrain+nVal]...)
+		sp.Test = append(sp.Test, nodes[nTrain+nVal:]...)
+	}
+	sort.Ints(sp.Train)
+	sort.Ints(sp.Val)
+	sort.Ints(sp.Test)
+	return sp
+}
+
+// Induced is a subgraph with a node-id mapping back to the parent graph.
+type Induced struct {
+	Graph *Graph
+	// ToGlobal maps local node ids to ids in the parent graph.
+	ToGlobal []int
+	// ToLocal maps parent ids to local ids; -1 for nodes outside the subgraph.
+	ToLocal []int
+}
+
+// Induce returns the subgraph on the given (deduplicated, sorted) node set
+// with all edges whose endpoints are both inside the set.
+func (g *Graph) Induce(nodes []int) *Induced {
+	local := make([]int, g.N())
+	for i := range local {
+		local[i] = -1
+	}
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	// dedupe
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	sorted = uniq
+	for li, v := range sorted {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("graph: Induce node %d outside [0,%d)", v, g.N()))
+		}
+		local[v] = li
+	}
+	var src, dst []int
+	for li, v := range sorted {
+		for _, u := range g.Adj.RowIndices(v) {
+			lu := local[u]
+			if lu >= 0 && lu > li { // store each undirected edge once
+				src = append(src, li)
+				dst = append(dst, lu)
+			}
+		}
+	}
+	adj := sparse.FromEdges(len(sorted), src, dst, true)
+	labels := make([]int, len(sorted))
+	for li, v := range sorted {
+		labels[li] = g.Labels[v]
+	}
+	sub := &Graph{
+		Adj:        adj,
+		Features:   g.Features.GatherRows(sorted),
+		Labels:     labels,
+		NumClasses: g.NumClasses,
+	}
+	return &Induced{Graph: sub, ToGlobal: sorted, ToLocal: local}
+}
+
+// SupportingSets computes the nested node sets needed to propagate features
+// `hops` times for the target nodes: sets[hops] = targets and
+// sets[l] = sets[l+1] ∪ N(sets[l+1]). Computing X^{(t)} on sets[t] from
+// X^{(t-1)} on sets[t-1] is then exact for every t ≤ hops. Each set is
+// sorted ascending. sets[0] is the full radius-`hops` ball (the paper's
+// "supporting nodes", whose count explodes with depth).
+func SupportingSets(adj *sparse.CSR, targets []int, hops int) [][]int {
+	if hops < 0 {
+		panic("graph: negative hops")
+	}
+	sets := make([][]int, hops+1)
+	cur := append([]int(nil), targets...)
+	sort.Ints(cur)
+	cur = dedupSorted(cur)
+	sets[hops] = cur
+	mark := make([]bool, adj.Rows)
+	for l := hops - 1; l >= 0; l-- {
+		for _, v := range cur {
+			mark[v] = true
+		}
+		next := append([]int(nil), cur...)
+		for _, v := range cur {
+			for _, u := range adj.RowIndices(v) {
+				if !mark[u] {
+					mark[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		for _, v := range next {
+			mark[v] = false
+		}
+		sort.Ints(next)
+		sets[l] = next
+		cur = next
+	}
+	return sets
+}
+
+// Ball returns the sorted set of nodes within `radius` hops of targets
+// (including the targets themselves).
+func Ball(adj *sparse.CSR, targets []int, radius int) []int {
+	return SupportingSets(adj, targets, radius)[0]
+}
+
+// BFSDistances returns hop distances from the source set (−1 if unreachable).
+func BFSDistances(adj *sparse.CSR, sources []int) []int {
+	dist := make([]int, adj.Rows)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj.RowIndices(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Batches splits nodes into consecutive batches of size batchSize
+// (the last batch may be smaller).
+func Batches(nodes []int, batchSize int) [][]int {
+	if batchSize <= 0 {
+		panic("graph: batch size must be positive")
+	}
+	var out [][]int
+	for lo := 0; lo < len(nodes); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		out = append(out, nodes[lo:hi])
+	}
+	return out
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

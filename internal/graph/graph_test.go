@@ -1,0 +1,279 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// lineGraph builds a labelled path graph 0-1-...-(n-1) with 1-d features.
+func lineGraph(t *testing.T, n, classes int) *Graph {
+	t.Helper()
+	src := make([]int, 0, n-1)
+	dst := make([]int, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		src = append(src, i)
+		dst = append(dst, i+1)
+	}
+	feats := mat.New(n, 1)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		feats.Set(i, 0, float64(i))
+		labels[i] = i % classes
+	}
+	g, err := New(sparse.FromEdges(n, src, dst, true), feats, labels, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	adj := sparse.FromEdges(2, []int{0}, []int{1}, true)
+	if _, err := New(adj, mat.New(3, 1), []int{0, 0}, 1); err == nil {
+		t.Fatal("expected feature-row mismatch error")
+	}
+	if _, err := New(adj, mat.New(2, 1), []int{0}, 1); err == nil {
+		t.Fatal("expected label-count mismatch error")
+	}
+	if _, err := New(adj, mat.New(2, 1), []int{0, 5}, 2); err == nil {
+		t.Fatal("expected label-range error")
+	}
+	if _, err := New(adj, mat.New(2, 1), []int{0, 1}, 2); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := lineGraph(t, 5, 2)
+	if g.N() != 5 || g.M() != 4 || g.F() != 1 {
+		t.Fatalf("N/M/F = %d/%d/%d", g.N(), g.M(), g.F())
+	}
+}
+
+func TestRandomSplitPartition(t *testing.T) {
+	g := lineGraph(t, 100, 4)
+	sp := RandomSplit(g, 0.5, 0.25, rand.New(rand.NewSource(1)))
+	seen := make([]int, g.N())
+	for _, set := range [][]int{sp.Train, sp.Val, sp.Test} {
+		for _, v := range set {
+			seen[v]++
+		}
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d appears %d times across splits", v, c)
+		}
+	}
+	if len(sp.Train) < 40 || len(sp.Train) > 60 {
+		t.Fatalf("train size %d far from 50", len(sp.Train))
+	}
+	if !sort.IntsAreSorted(sp.Test) {
+		t.Fatal("test set not sorted")
+	}
+}
+
+func TestRandomSplitStratified(t *testing.T) {
+	g := lineGraph(t, 200, 4)
+	sp := RandomSplit(g, 0.5, 0.2, rand.New(rand.NewSource(2)))
+	perClass := make([]int, 4)
+	for _, v := range sp.Train {
+		perClass[g.Labels[v]]++
+	}
+	for c, n := range perClass {
+		if n != 25 { // 50 per class × 0.5
+			t.Fatalf("class %d has %d train nodes, want 25", c, n)
+		}
+	}
+}
+
+func TestRandomSplitDeterministic(t *testing.T) {
+	g := lineGraph(t, 50, 2)
+	a := RandomSplit(g, 0.4, 0.3, rand.New(rand.NewSource(7)))
+	b := RandomSplit(g, 0.4, 0.3, rand.New(rand.NewSource(7)))
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("split sizes differ")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("splits differ for identical seeds")
+		}
+	}
+}
+
+func TestInduceSubgraph(t *testing.T) {
+	g := lineGraph(t, 6, 2) // 0-1-2-3-4-5
+	ind := g.Induce([]int{0, 1, 2, 4, 5})
+	sub := ind.Graph
+	if sub.N() != 5 {
+		t.Fatalf("sub N = %d", sub.N())
+	}
+	// edges 0-1, 1-2, 4-5 survive; 2-3 and 3-4 are cut
+	if sub.M() != 3 {
+		t.Fatalf("sub M = %d want 3", sub.M())
+	}
+	// features and labels follow the mapping
+	for li, gi := range ind.ToGlobal {
+		if sub.Features.At(li, 0) != g.Features.At(gi, 0) {
+			t.Fatalf("feature mismatch local %d global %d", li, gi)
+		}
+		if sub.Labels[li] != g.Labels[gi] {
+			t.Fatalf("label mismatch local %d global %d", li, gi)
+		}
+		if ind.ToLocal[gi] != li {
+			t.Fatal("ToLocal inverse broken")
+		}
+	}
+	if ind.ToLocal[3] != -1 {
+		t.Fatal("excluded node should map to -1")
+	}
+}
+
+func TestInduceDedup(t *testing.T) {
+	g := lineGraph(t, 4, 2)
+	ind := g.Induce([]int{2, 0, 2, 0})
+	if ind.Graph.N() != 2 {
+		t.Fatalf("dedup failed: N = %d", ind.Graph.N())
+	}
+}
+
+func TestSupportingSetsPath(t *testing.T) {
+	g := lineGraph(t, 7, 2) // 0-1-2-3-4-5-6
+	sets := SupportingSets(g.Adj, []int{3}, 2)
+	if len(sets) != 3 {
+		t.Fatalf("len(sets) = %d", len(sets))
+	}
+	wantEq(t, sets[2], []int{3})
+	wantEq(t, sets[1], []int{2, 3, 4})
+	wantEq(t, sets[0], []int{1, 2, 3, 4, 5})
+}
+
+func TestSupportingSetsNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	adj := randomAdj(40, 0.08, rng)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		targets := []int{r.Intn(40), r.Intn(40), r.Intn(40)}
+		sets := SupportingSets(adj, targets, 3)
+		for l := 0; l < 3; l++ {
+			if !isSubset(sets[l+1], sets[l]) {
+				return false
+			}
+			if !sort.IntsAreSorted(sets[l]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupportingSetsMatchBFSBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	adj := randomAdj(30, 0.1, rng)
+	targets := []int{0, 7}
+	for radius := 0; radius <= 3; radius++ {
+		ball := Ball(adj, targets, radius)
+		dist := BFSDistances(adj, targets)
+		var want []int
+		for v, d := range dist {
+			if d >= 0 && d <= radius {
+				want = append(want, v)
+			}
+		}
+		wantEq(t, ball, want)
+	}
+}
+
+func TestSupportingSetsZeroHops(t *testing.T) {
+	g := lineGraph(t, 5, 2)
+	sets := SupportingSets(g.Adj, []int{1, 3}, 0)
+	if len(sets) != 1 {
+		t.Fatalf("len = %d", len(sets))
+	}
+	wantEq(t, sets[0], []int{1, 3})
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := lineGraph(t, 5, 2)
+	dist := BFSDistances(g.Adj, []int{0})
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %d want %d", i, dist[i], want)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	adj := sparse.FromEdges(4, []int{0}, []int{1}, true) // 2,3 isolated
+	dist := BFSDistances(adj, []int{0})
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("unreachable nodes should be -1")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	nodes := []int{1, 2, 3, 4, 5}
+	b := Batches(nodes, 2)
+	if len(b) != 3 || len(b[0]) != 2 || len(b[2]) != 1 {
+		t.Fatalf("Batches = %v", b)
+	}
+	if got := Batches(nil, 3); got != nil {
+		t.Fatalf("Batches(nil) = %v", got)
+	}
+}
+
+func TestBatchesPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Batches([]int{1}, 0)
+}
+
+// --- helpers ---
+
+func wantEq(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func isSubset(small, big []int) bool {
+	set := make(map[int]bool, len(big))
+	for _, v := range big {
+		set[v] = true
+	}
+	for _, v := range small {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomAdj(n int, p float64, rng *rand.Rand) *sparse.CSR {
+	var src, dst []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	return sparse.FromEdges(n, src, dst, true)
+}

@@ -1,0 +1,191 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate FLOP count above which GEMM fans out
+// across goroutines. Below it, goroutine overhead dominates.
+const parallelThreshold = 1 << 16
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	gemmInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulInto inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulInto dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	gemmInto(dst, a, b)
+}
+
+// gemmInto accumulates a·b into out (out must be zeroed by the caller).
+// Uses the cache-friendly ikj ordering and splits rows across goroutines.
+func gemmInto(out, a, b *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	work := m * k * n
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		rowRange(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rowRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulTN returns aᵀ·b without materializing the transpose.
+func MatMulTN(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulTN inner dims %d != %d", a.Rows, b.Rows))
+	}
+	m, k, n := a.Cols, a.Rows, b.Cols
+	out := New(m, n)
+	// (aᵀb)[i][j] = Σ_p a[p][i] b[p][j]; iterate p outer for sequential access.
+	for p := 0; p < k; p++ {
+		arow := a.Row(p)
+		brow := b.Row(p)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulNT returns a·bᵀ without materializing the transpose.
+func MatMulNT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulNT inner dims %d != %d", a.Cols, b.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, b.Rows
+	out := New(m, n)
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < n; j++ {
+				brow := b.Row(j)
+				var s float64
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < parallelThreshold || workers < 2 || m < 2 {
+		rowRange(0, m)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rowRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MatVec returns a·x for a column vector x (len a.Cols).
+func MatVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("mat: MatVec len %d != cols %d", len(x), a.Cols))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMat returns xᵀ·a for a row vector x (len a.Rows).
+func VecMat(x []float64, a *Matrix) []float64 {
+	if len(x) != a.Rows {
+		panic(fmt.Sprintf("mat: VecMat len %d != rows %d", len(x), a.Rows))
+	}
+	out := make([]float64, a.Cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls the supervised training loop.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	// Patience stops training after this many epochs without validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	Seed     int64
+}
+
+// DefaultTrainConfig mirrors the paper's SGC settings at our scale.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 150, LR: 0.01, WeightDecay: 1e-4, Patience: 25, Seed: 1}
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Epochs       int
+	BestValAcc   float64
+	FinalLoss    float64
+	EarlyStopped bool
+}
+
+// TrainClassifier fits model on rows trainIdx of x (labels indexed globally)
+// with cross-entropy, early-stopping on accuracy over valIdx. The best
+// validation weights are restored at the end.
+func TrainClassifier(model *MLP, x *mat.Matrix, labels []int, trainIdx, valIdx []int, cfg TrainConfig) TrainResult {
+	if len(trainIdx) == 0 {
+		panic("nn: empty training set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(cfg.LR, cfg.WeightDecay)
+	xTrain := x.GatherRows(trainIdx)
+	yTrain := gatherLabels(labels, trainIdx)
+	var xVal *mat.Matrix
+	var yVal []int
+	if len(valIdx) > 0 {
+		xVal = x.GatherRows(valIdx)
+		yVal = gatherLabels(labels, valIdx)
+	}
+
+	res := TrainResult{}
+	best := -1.0
+	var bestSnapshot []*mat.Matrix
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		b := Bind()
+		logits := model.Forward(b, b.Const(xTrain), true, rng)
+		loss := tensor.CrossEntropyLabels(logits, yTrain)
+		b.Backward(loss)
+		opt.Step(model.Params())
+		res.FinalLoss = loss.Scalar()
+		res.Epochs = epoch + 1
+
+		if xVal != nil {
+			acc := Accuracy(model.Predict(xVal), yVal)
+			if acc > best {
+				best = acc
+				sinceBest = 0
+				bestSnapshot = snapshot(model.Params())
+			} else {
+				sinceBest++
+				if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+					res.EarlyStopped = true
+					break
+				}
+			}
+		}
+	}
+	if bestSnapshot != nil {
+		restore(model.Params(), bestSnapshot)
+		res.BestValAcc = best
+	}
+	return res
+}
+
+// Accuracy returns the fraction of predictions equal to labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("nn: %d predictions for %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func gatherLabels(labels []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = labels[v]
+	}
+	return out
+}
+
+func snapshot(params []*Param) []*mat.Matrix {
+	out := make([]*mat.Matrix, len(params))
+	for i, p := range params {
+		out[i] = p.Value.Clone()
+	}
+	return out
+}
+
+func restore(params []*Param, snap []*mat.Matrix) {
+	for i, p := range params {
+		p.Value.CopyFrom(snap[i])
+	}
+}

@@ -1,0 +1,224 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+func ringGraph(n int) *sparse.CSR {
+	src := make([]int, n)
+	dst := make([]int, n)
+	for i := 0; i < n; i++ {
+		src[i] = i
+		dst[i] = (i + 1) % n
+	}
+	return sparse.FromEdges(n, src, dst, true)
+}
+
+func randomGraph(n int, p float64, rng *rand.Rand) *sparse.CSR {
+	var src, dst []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	return sparse.FromEdges(n, src, dst, true)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Alpha: 0, Epsilon: 1e-4},
+		{Alpha: 1, Epsilon: 1e-4},
+		{Alpha: 0.2, Epsilon: 0},
+		{Alpha: 0.2, Epsilon: 1e-4, TopK: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	if DefaultConfig().Validate() != nil {
+		t.Fatal("default config invalid")
+	}
+}
+
+func TestApproximateSourceOutOfRange(t *testing.T) {
+	adj := ringGraph(5)
+	if _, _, err := Approximate(adj, 9, DefaultConfig()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestApproximateMassConservation(t *testing.T) {
+	// Σp ≤ 1 and Σp + Σr = 1 throughout the push process ⇒ the returned
+	// vector's mass is within the residual tolerance of 1.
+	rng := rand.New(rand.NewSource(1))
+	adj := randomGraph(40, 0.15, rng)
+	cfg := Config{Alpha: 0.15, Epsilon: 1e-6}
+	vec, work, err := Approximate(adj, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work == 0 {
+		t.Fatal("no push work recorded")
+	}
+	sum := vec.Sum()
+	if sum <= 0.9 || sum > 1+1e-9 {
+		t.Fatalf("PPR mass %v far from 1", sum)
+	}
+	for _, e := range vec {
+		if e.Score < 0 {
+			t.Fatal("negative PPR score")
+		}
+	}
+}
+
+func TestApproximateMatchesExactReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	adj := randomGraph(25, 0.2, rng)
+	cfg := Config{Alpha: 0.2, Epsilon: 1e-8}
+	vec, _, err := Approximate(adj, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactReference(adj, 3, 0.2, 400)
+	dense := make([]float64, adj.Rows)
+	for _, e := range vec {
+		dense[e.Node] = e.Score
+	}
+	for i := range exact {
+		if math.Abs(dense[i]-exact[i]) > 1e-3 {
+			t.Fatalf("node %d: approx %v exact %v", i, dense[i], exact[i])
+		}
+	}
+}
+
+func TestApproximateSymmetryOnRing(t *testing.T) {
+	// On a ring, PPR from node 0 must be symmetric: π(i) == π(n−i).
+	adj := ringGraph(11)
+	vec, _, err := Approximate(adj, 0, Config{Alpha: 0.15, Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([]float64, 11)
+	for _, e := range vec {
+		dense[e.Node] = e.Score
+	}
+	for i := 1; i <= 5; i++ {
+		if math.Abs(dense[i]-dense[11-i]) > 1e-6 {
+			t.Fatalf("asymmetry at %d: %v vs %v", i, dense[i], dense[11-i])
+		}
+	}
+	// and decay with distance
+	if !(dense[0] > dense[1] && dense[1] > dense[2]) {
+		t.Fatalf("no distance decay: %v", dense[:3])
+	}
+}
+
+func TestApproximateIsolatedNode(t *testing.T) {
+	adj := sparse.FromEdges(3, []int{0}, []int{1}, true) // node 2 isolated
+	vec, _, err := Approximate(adj, 2, Config{Alpha: 0.15, Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].Node != 2 {
+		t.Fatalf("isolated PPR = %v", vec)
+	}
+	if math.Abs(vec[0].Score-1) > 1e-6 {
+		t.Fatalf("isolated node should hold all mass, got %v", vec[0].Score)
+	}
+}
+
+func TestTopKSparsification(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	adj := randomGraph(50, 0.2, rng)
+	full, _, err := Approximate(adj, 0, Config{Alpha: 0.15, Epsilon: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, _, err := Approximate(adj, 0, Config{Alpha: 0.15, Epsilon: 1e-7, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk) != 5 {
+		t.Fatalf("top-k size %d", len(topk))
+	}
+	// the kept entries must be the largest of the full vector
+	var kept, dropped float64 = math.Inf(1), math.Inf(-1)
+	keptSet := map[int]bool{}
+	for _, e := range topk {
+		keptSet[e.Node] = true
+		kept = math.Min(kept, e.Score)
+	}
+	for _, e := range full {
+		if !keptSet[e.Node] {
+			dropped = math.Max(dropped, e.Score)
+		}
+	}
+	if dropped > kept+1e-12 {
+		t.Fatalf("dropped score %v exceeds kept %v", dropped, kept)
+	}
+}
+
+func TestEpsilonControlsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	adj := randomGraph(60, 0.1, rng)
+	_, loose, _ := Approximate(adj, 0, Config{Alpha: 0.15, Epsilon: 1e-2})
+	_, tight, _ := Approximate(adj, 0, Config{Alpha: 0.15, Epsilon: 1e-7})
+	if loose >= tight {
+		t.Fatalf("tighter epsilon should push more: %d vs %d", loose, tight)
+	}
+}
+
+func TestMassConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		adj := randomGraph(20, 0.2, rng)
+		src := rng.Intn(20)
+		vec, _, err := Approximate(adj, src, Config{Alpha: 0.1 + rng.Float64()*0.3, Epsilon: 1e-6})
+		if err != nil {
+			return false
+		}
+		s := vec.Sum()
+		return s > 0 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	adj := randomGraph(30, 0.2, rng)
+	x := mat.Randn(30, 4, 1, rng)
+	targets := []int{0, 5, 12}
+	h, work, macs, err := AggregateFeatures(adj, x, targets, Config{Alpha: 0.15, Epsilon: 1e-6, TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 3 || h.Cols != 4 {
+		t.Fatalf("shape %dx%d", h.Rows, h.Cols)
+	}
+	if work == 0 || macs == 0 {
+		t.Fatal("cost counters empty")
+	}
+	if macs > 3*8*4 {
+		t.Fatalf("MACs %d exceed top-k bound", macs)
+	}
+	// aggregated feature lies in the convex-ish hull: bounded by mass × max
+	for i := 0; i < h.Rows; i++ {
+		for j := 0; j < h.Cols; j++ {
+			if math.IsNaN(h.At(i, j)) {
+				t.Fatal("NaN in aggregate")
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package sparse implements compressed-sparse-row matrices and the graph
+// algebra used by Scalable GNNs: adjacency construction, self-loops, the
+// γ-normalization family Â = D̃^{γ−1} Ã D̃^{−γ} of the paper's Eq. (1), and
+// (row-subset) sparse×dense products with exact multiply-accumulate
+// accounting.
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// CSR is a sparse matrix in compressed sparse row format. Column indices
+// within each row are sorted ascending and unique.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // length Rows+1
+	Col        []int // length NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Col) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// RowIndices returns the column indices of row i (a view, do not mutate).
+func (a *CSR) RowIndices(i int) []int { return a.Col[a.RowPtr[i]:a.RowPtr[i+1]] }
+
+// RowValues returns the values of row i (a view, do not mutate).
+func (a *CSR) RowValues(i int) []float64 { return a.Val[a.RowPtr[i]:a.RowPtr[i+1]] }
+
+// At returns element (i, j) by binary search over row i.
+func (a *CSR) At(i, j int) float64 {
+	cols := a.RowIndices(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return a.RowValues(i)[k]
+	}
+	return 0
+}
+
+// FromEdges builds an n×n binary adjacency matrix from the edge list.
+// Duplicate edges and self-loops in the input are dropped; with
+// undirected=true each edge is stored in both directions.
+func FromEdges(n int, src, dst []int, undirected bool) *CSR {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("sparse: %d sources for %d destinations", len(src), len(dst)))
+	}
+	adj := make([][]int, n)
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("sparse: edge (%d,%d) outside [0,%d)", u, v, n))
+		}
+		adj[u] = append(adj[u], v)
+	}
+	for i := range src {
+		addEdge(src[i], dst[i])
+		if undirected {
+			addEdge(dst[i], src[i])
+		}
+	}
+	return fromAdjLists(n, n, adj, nil)
+}
+
+// fromAdjLists converts per-row column lists (with optional parallel value
+// lists; nil means all-ones) to CSR, sorting and deduplicating columns.
+// When deduplicating with values, duplicates are summed.
+func fromAdjLists(rows, cols int, adj [][]int, vals [][]float64) *CSR {
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i, list := range adj {
+		if len(list) == 0 {
+			out.RowPtr[i+1] = out.RowPtr[i]
+			continue
+		}
+		type cv struct {
+			c int
+			v float64
+		}
+		pairs := make([]cv, len(list))
+		for k, c := range list {
+			v := 1.0
+			if vals != nil {
+				v = vals[i][k]
+			}
+			pairs[k] = cv{c, v}
+		}
+		sort.Slice(pairs, func(x, y int) bool { return pairs[x].c < pairs[y].c })
+		for k := 0; k < len(pairs); k++ {
+			if k > 0 && pairs[k].c == pairs[k-1].c {
+				continue // dedupe; binary adjacency keeps 1
+			}
+			out.Col = append(out.Col, pairs[k].c)
+			out.Val = append(out.Val, pairs[k].v)
+		}
+		out.RowPtr[i+1] = len(out.Col)
+	}
+	return out
+}
+
+// AddSelfLoops returns a copy of a with value 1 on every diagonal entry
+// (existing diagonal values are overwritten with 1). Requires a square matrix.
+func (a *CSR) AddSelfLoops() *CSR {
+	if a.Rows != a.Cols {
+		panic("sparse: AddSelfLoops requires a square matrix")
+	}
+	adj := make([][]int, a.Rows)
+	vals := make([][]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		cols := a.RowIndices(i)
+		vs := a.RowValues(i)
+		adj[i] = make([]int, 0, len(cols)+1)
+		vals[i] = make([]float64, 0, len(cols)+1)
+		seenSelf := false
+		for k, c := range cols {
+			if c == i {
+				adj[i] = append(adj[i], c)
+				vals[i] = append(vals[i], 1)
+				seenSelf = true
+			} else {
+				adj[i] = append(adj[i], c)
+				vals[i] = append(vals[i], vs[k])
+			}
+		}
+		if !seenSelf {
+			adj[i] = append(adj[i], i)
+			vals[i] = append(vals[i], 1)
+		}
+	}
+	return fromAdjLists(a.Rows, a.Cols, adj, vals)
+}
+
+// Degrees returns the per-row sum of values (for a binary adjacency this is
+// the out-degree).
+func (a *CSR) Degrees() []float64 {
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for _, v := range a.RowValues(i) {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func (a *CSR) Transpose() *CSR {
+	counts := make([]int, a.Cols+1)
+	for _, c := range a.Col {
+		counts[c+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		counts[i+1] += counts[i]
+	}
+	out := &CSR{
+		Rows:   a.Cols,
+		Cols:   a.Rows,
+		RowPtr: counts,
+		Col:    make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	next := append([]int(nil), counts[:a.Cols]...)
+	for i := 0; i < a.Rows; i++ {
+		cols := a.RowIndices(i)
+		vals := a.RowValues(i)
+		for k, c := range cols {
+			p := next[c]
+			out.Col[p] = i
+			out.Val[p] = vals[k]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// ToDense materializes the matrix (for tests on small inputs).
+func (a *CSR) ToDense() *mat.Matrix {
+	out := mat.New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols := a.RowIndices(i)
+		vals := a.RowValues(i)
+		for k, c := range cols {
+			out.Set(i, c, vals[k])
+		}
+	}
+	return out
+}
+
+// MulDense returns a·x (SpMM), parallelized across row blocks.
+func (a *CSR) MulDense(x *mat.Matrix) *mat.Matrix {
+	if x.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: MulDense inner dims %d != %d", a.Cols, x.Rows))
+	}
+	out := mat.New(a.Rows, x.Cols)
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.mulRowInto(out.Row(i), i, x)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if a.NNZ()*x.Cols < 1<<15 || workers < 2 || a.Rows < 2 {
+		rowRange(0, a.Rows)
+		return out
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rowRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MulDenseRows computes out[r] = (a·x)[r] for each r in rows, leaving other
+// rows of out untouched, and returns the number of multiply-accumulate
+// pairs processed (nnz over the selected rows × feature width). out must be
+// a.Rows×x.Cols and must not alias x.
+func (a *CSR) MulDenseRows(rows []int, x, out *mat.Matrix) int {
+	if x.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: MulDenseRows inner dims %d != %d", a.Cols, x.Rows))
+	}
+	if out.Rows != a.Rows || out.Cols != x.Cols {
+		panic("sparse: MulDenseRows out shape mismatch")
+	}
+	nnz := 0
+	for _, r := range rows {
+		dst := out.Row(r)
+		for j := range dst {
+			dst[j] = 0
+		}
+		a.mulRowInto(dst, r, x)
+		nnz += a.RowNNZ(r)
+	}
+	return nnz * x.Cols
+}
+
+func (a *CSR) mulRowInto(dst []float64, i int, x *mat.Matrix) {
+	cols := a.RowIndices(i)
+	vals := a.RowValues(i)
+	for k, c := range cols {
+		v := vals[k]
+		src := x.Row(c)
+		for j, sv := range src {
+			dst[j] += v * sv
+		}
+	}
+}
+
+// NNZRows returns the total number of stored entries across the given rows.
+func (a *CSR) NNZRows(rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += a.RowNNZ(r)
+	}
+	return total
+}

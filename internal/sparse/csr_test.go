@@ -1,0 +1,318 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// pathGraph returns the adjacency of a path 0-1-2-...-(n-1).
+func pathGraph(n int) *CSR {
+	src := make([]int, 0, n-1)
+	dst := make([]int, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		src = append(src, i)
+		dst = append(dst, i+1)
+	}
+	return FromEdges(n, src, dst, true)
+}
+
+// randomGraph returns a random undirected adjacency with ~p edge density.
+func randomGraph(n int, p float64, rng *rand.Rand) *CSR {
+	var src, dst []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	return FromEdges(n, src, dst, true)
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	a := FromEdges(3, []int{0, 1}, []int{1, 2}, true)
+	if a.NNZ() != 4 {
+		t.Fatalf("NNZ = %d want 4", a.NNZ())
+	}
+	if a.At(0, 1) != 1 || a.At(1, 0) != 1 || a.At(1, 2) != 1 || a.At(2, 1) != 1 {
+		t.Fatal("symmetric entries missing")
+	}
+	if a.At(0, 2) != 0 || a.At(0, 0) != 0 {
+		t.Fatal("unexpected entries")
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoopDrop(t *testing.T) {
+	a := FromEdges(2, []int{0, 0, 0, 1}, []int{1, 1, 0, 1}, true)
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d want 2 (dedup + self-loop drop)", a.NNZ())
+	}
+}
+
+func TestFromEdgesDirected(t *testing.T) {
+	a := FromEdges(3, []int{0}, []int{2}, false)
+	if a.At(0, 2) != 1 || a.At(2, 0) != 0 {
+		t.Fatal("directed edge stored wrong")
+	}
+}
+
+func TestFromEdgesOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromEdges(2, []int{0}, []int{5}, false)
+}
+
+func TestAddSelfLoops(t *testing.T) {
+	a := pathGraph(3)
+	l := a.AddSelfLoops()
+	if l.NNZ() != a.NNZ()+3 {
+		t.Fatalf("NNZ = %d", l.NNZ())
+	}
+	for i := 0; i < 3; i++ {
+		if l.At(i, i) != 1 {
+			t.Fatalf("missing self loop at %d", i)
+		}
+	}
+	// idempotent
+	l2 := l.AddSelfLoops()
+	if l2.NNZ() != l.NNZ() {
+		t.Fatal("AddSelfLoops not idempotent")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	a := pathGraph(4)
+	d := a.Degrees()
+	want := []float64{1, 2, 2, 1}
+	for i, v := range want {
+		if d[i] != v {
+			t.Fatalf("deg[%d] = %v want %v", i, d[i], v)
+		}
+	}
+}
+
+func TestLoopedDegrees(t *testing.T) {
+	a := pathGraph(3)
+	d := LoopedDegrees(a)
+	if d[0] != 2 || d[1] != 3 || d[2] != 2 {
+		t.Fatalf("LoopedDegrees = %v", d)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromEdges(4, []int{0, 1, 2}, []int{1, 2, 3}, false)
+	tr := a.Transpose()
+	if !mat.Equal(tr.ToDense(), a.ToDense().T()) {
+		t.Fatal("transpose mismatch")
+	}
+	// involution
+	if !mat.Equal(tr.Transpose().ToDense(), a.ToDense()) {
+		t.Fatal("double transpose mismatch")
+	}
+}
+
+func TestTransposeSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomGraph(20, 0.2, rng)
+	if !mat.Equal(a.ToDense(), a.Transpose().ToDense()) {
+		t.Fatal("undirected adjacency should be symmetric")
+	}
+}
+
+func TestMulDenseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomGraph(30, 0.15, rng)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	x := mat.Randn(30, 7, 1, rng)
+	got := na.MulDense(x)
+	want := mat.MatMul(na.ToDense(), x)
+	if !mat.ApproxEqual(got, want, 1e-10) {
+		t.Fatal("SpMM differs from dense reference")
+	}
+}
+
+func TestMulDenseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n8, f8 uint8, p float64) bool {
+		n := int(n8%15) + 2
+		fdim := int(f8%6) + 1
+		p = math.Abs(p)
+		p -= math.Floor(p)
+		a := randomGraph(n, p, rng)
+		x := mat.Randn(n, fdim, 1, rng)
+		return mat.ApproxEqual(a.MulDense(x), mat.MatMul(a.ToDense(), x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDenseRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomGraph(20, 0.2, rng)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	x := mat.Randn(20, 5, 1, rng)
+	full := na.MulDense(x)
+	out := mat.New(20, 5)
+	out.Fill(-999) // untouched rows must stay
+	rows := []int{3, 7, 11}
+	macs := na.MulDenseRows(rows, x, out)
+	wantMACs := na.NNZRows(rows) * 5
+	if macs != wantMACs {
+		t.Fatalf("MACs = %d want %d", macs, wantMACs)
+	}
+	for _, r := range rows {
+		for j := 0; j < 5; j++ {
+			if math.Abs(out.At(r, j)-full.At(r, j)) > 1e-10 {
+				t.Fatalf("row %d mismatch", r)
+			}
+		}
+	}
+	if out.At(0, 0) != -999 {
+		t.Fatal("untouched row was modified")
+	}
+}
+
+func TestMulDenseRowsOverwritesStale(t *testing.T) {
+	a := pathGraph(3)
+	na := NormalizedAdjacency(a, GammaRowStochastic)
+	x := mat.Randn(3, 2, 1, rand.New(rand.NewSource(5)))
+	out := mat.New(3, 2)
+	out.Fill(123)
+	na.MulDenseRows([]int{1}, x, out)
+	want := na.MulDense(x)
+	if math.Abs(out.At(1, 0)-want.At(1, 0)) > 1e-12 {
+		t.Fatal("row not overwritten cleanly")
+	}
+}
+
+func TestNormalizedAdjacencyRowStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomGraph(25, 0.15, rng)
+	na := NormalizedAdjacency(a, GammaRowStochastic)
+	for i, s := range na.ToDense().RowSums() {
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestNormalizedAdjacencyColStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomGraph(25, 0.15, rng)
+	na := NormalizedAdjacency(a, GammaColStochastic)
+	for j, s := range na.ToDense().ColSums() {
+		if math.Abs(s-1) > 1e-10 {
+			t.Fatalf("col %d sums to %v", j, s)
+		}
+	}
+}
+
+func TestNormalizedAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomGraph(25, 0.15, rng)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	d := na.ToDense()
+	if !mat.ApproxEqual(d, d.T(), 1e-12) {
+		t.Fatal("symmetric normalization not symmetric")
+	}
+}
+
+func TestNormalizedAdjacencyValues(t *testing.T) {
+	// path 0-1: d̃ = [2,2]; symmetric value = 1/sqrt(2*2) = 0.5
+	a := pathGraph(2)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	if math.Abs(na.At(0, 1)-0.5) > 1e-12 {
+		t.Fatalf("off-diag = %v", na.At(0, 1))
+	}
+	if math.Abs(na.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("diag = %v", na.At(0, 0))
+	}
+}
+
+func TestNormalizedAdjacencyGammaRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NormalizedAdjacency(pathGraph(2), 1.5)
+}
+
+func TestNormalizedAdjacencyIsolatedNode(t *testing.T) {
+	// node 2 isolated: self-loop gives degree 1, no NaN/Inf
+	a := FromEdges(3, []int{0}, []int{1}, true)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	if na.At(2, 2) != 1 {
+		t.Fatalf("isolated self loop = %v", na.At(2, 2))
+	}
+	for _, v := range na.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("NaN/Inf in normalized values")
+		}
+	}
+}
+
+func TestDominantEigenvalueIsOne(t *testing.T) {
+	// Â has dominant eigenvalue 1 for any γ (v_i = d̃_i^γ is the eigenvector).
+	rng := rand.New(rand.NewSource(9))
+	a := randomGraph(30, 0.2, rng)
+	for _, gamma := range []float64{0, 0.5, 1} {
+		na := NormalizedAdjacency(a, gamma)
+		lambda := PowerIterationTopEig(na, 200)
+		if math.Abs(lambda-1) > 1e-6 {
+			t.Fatalf("gamma=%v: top eig %v != 1", gamma, lambda)
+		}
+	}
+}
+
+func TestDominantEigenvectorProperty(t *testing.T) {
+	// Â·v = v where v_i = d̃_i^γ (Eq. 7 foundation).
+	rng := rand.New(rand.NewSource(10))
+	a := randomGraph(25, 0.2, rng)
+	for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		na := NormalizedAdjacency(a, gamma)
+		deg := LoopedDegrees(a)
+		v := mat.New(25, 1)
+		for i, d := range deg {
+			v.Set(i, 0, math.Pow(d, gamma))
+		}
+		got := na.MulDense(v)
+		if !mat.ApproxEqual(got, v, 1e-10) {
+			t.Fatalf("gamma=%v: Âv != v", gamma)
+		}
+	}
+}
+
+func TestNNZRows(t *testing.T) {
+	a := pathGraph(4)
+	if got := a.NNZRows([]int{0, 1}); got != 3 {
+		t.Fatalf("NNZRows = %d want 3", got)
+	}
+	if got := a.NNZRows(nil); got != 0 {
+		t.Fatalf("NNZRows(nil) = %d", got)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	a := FromEdges(5, nil, nil, true)
+	if a.NNZ() != 0 {
+		t.Fatal("empty graph has edges")
+	}
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	if na.NNZ() != 5 { // self loops only
+		t.Fatalf("NNZ = %d want 5", na.NNZ())
+	}
+	x := mat.Randn(5, 3, 1, rand.New(rand.NewSource(11)))
+	if !mat.ApproxEqual(na.MulDense(x), x, 1e-12) {
+		t.Fatal("identity propagation on empty graph failed")
+	}
+}

@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Convolution coefficients from the paper's Eq. (1): γ selects the member
+// of the normalization family Â = D̃^{γ−1} Ã D̃^{−γ}.
+const (
+	// GammaRowStochastic (γ=0) yields D̃^{−1}Ã, the reverse transition
+	// probability matrix: every row sums to 1.
+	GammaRowStochastic = 0.0
+	// GammaSymmetric (γ=0.5) yields D̃^{−1/2}ÃD̃^{−1/2}, the symmetric
+	// normalization used by GCN/SGC and by all experiments in the paper.
+	GammaSymmetric = 0.5
+	// GammaColStochastic (γ=1) yields ÃD̃^{−1}, the transition probability
+	// matrix: every column sums to 1.
+	GammaColStochastic = 1.0
+)
+
+// NormalizedAdjacency adds self-loops to the binary adjacency adj and
+// applies Â = D̃^{γ−1} Ã D̃^{−γ} where D̃ is the self-looped degree matrix.
+// adj must be square and symmetric for the spectral properties the paper
+// relies on, but the scaling itself works for any square matrix.
+func NormalizedAdjacency(adj *CSR, gamma float64) *CSR {
+	if adj.Rows != adj.Cols {
+		panic("sparse: NormalizedAdjacency requires a square matrix")
+	}
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("sparse: gamma %v outside [0,1]", gamma))
+	}
+	loop := adj.AddSelfLoops()
+	deg := loop.Degrees()
+	left := make([]float64, len(deg))  // d̃^{γ−1}
+	right := make([]float64, len(deg)) // d̃^{−γ}
+	for i, d := range deg {
+		if d <= 0 {
+			// cannot happen after AddSelfLoops, but keep the invariant local
+			panic(fmt.Sprintf("sparse: node %d has non-positive looped degree %v", i, d))
+		}
+		left[i] = math.Pow(d, gamma-1)
+		right[i] = math.Pow(d, -gamma)
+	}
+	out := &CSR{
+		Rows:   loop.Rows,
+		Cols:   loop.Cols,
+		RowPtr: append([]int(nil), loop.RowPtr...),
+		Col:    append([]int(nil), loop.Col...),
+		Val:    make([]float64, loop.NNZ()),
+	}
+	for i := 0; i < loop.Rows; i++ {
+		li := left[i]
+		cols := loop.RowIndices(i)
+		vals := loop.RowValues(i)
+		base := loop.RowPtr[i]
+		for k, c := range cols {
+			out.Val[base+k] = li * vals[k] * right[c]
+		}
+	}
+	return out
+}
+
+// LoopedDegrees returns d_i + 1 for the binary adjacency adj (degrees after
+// adding self-loops), used by the stationary-state formula Eq. (7).
+func LoopedDegrees(adj *CSR) []float64 {
+	deg := adj.Degrees()
+	for i := range deg {
+		deg[i]++
+	}
+	return deg
+}
+
+// PowerIterationTopEig estimates the dominant eigenvalue of a by power
+// iteration (a must be square). Used only for diagnostics around the
+// paper's Eq. (10) depth bound.
+func PowerIterationTopEig(a *CSR, iters int) float64 {
+	if a.Rows != a.Cols || a.Rows == 0 {
+		return 0
+	}
+	v := make([]float64, a.Rows)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(a.Rows))
+	}
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		w := make([]float64, a.Rows)
+		for i := 0; i < a.Rows; i++ {
+			cols := a.RowIndices(i)
+			vals := a.RowValues(i)
+			var s float64
+			for k, c := range cols {
+				s += vals[k] * v[c]
+			}
+			w[i] = s
+		}
+		var norm float64
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		lambda = norm
+		for i := range w {
+			v[i] = w[i] / norm
+		}
+	}
+	return lambda
+}

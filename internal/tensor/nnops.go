@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// ReLU returns max(0, a) element-wise.
+func ReLU(a *Node) *Node {
+	v := mat.ReLU(a.Value)
+	return a.tape.newNode(v, func(g *mat.Matrix) {
+		da := mat.New(g.Rows, g.Cols)
+		for i, x := range a.Value.Data {
+			if x > 0 {
+				da.Data[i] = g.Data[i]
+			}
+		}
+		a.accumulate(da)
+	}, a)
+}
+
+// Sigmoid returns 1/(1+e^−a) element-wise.
+func Sigmoid(a *Node) *Node {
+	v := mat.Sigmoid(a.Value)
+	return a.tape.newNode(v, func(g *mat.Matrix) {
+		da := mat.New(g.Rows, g.Cols)
+		for i, s := range v.Data {
+			da.Data[i] = g.Data[i] * s * (1 - s)
+		}
+		a.accumulate(da)
+	}, a)
+}
+
+// Dropout zeroes elements with probability rate and scales survivors by
+// 1/(1−rate) (inverted dropout). With train=false it is the identity.
+func Dropout(a *Node, rate float64, train bool, rng *rand.Rand) *Node {
+	if !train || rate <= 0 {
+		return a
+	}
+	if rate >= 1 {
+		panic("tensor: dropout rate must be < 1")
+	}
+	keep := 1 - rate
+	scale := 1 / keep
+	mask := make([]float64, len(a.Value.Data))
+	v := mat.New(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		if rng.Float64() < keep {
+			mask[i] = scale
+			v.Data[i] = x * scale
+		}
+	}
+	return a.tape.newNode(v, func(g *mat.Matrix) {
+		da := mat.New(g.Rows, g.Cols)
+		for i, gv := range g.Data {
+			da.Data[i] = gv * mask[i]
+		}
+		a.accumulate(da)
+	}, a)
+}
+
+// Softmax returns row-wise softmax(a).
+func Softmax(a *Node) *Node {
+	v := mat.SoftmaxRows(a.Value)
+	return a.tape.newNode(v, func(g *mat.Matrix) {
+		// da_i = s_i ⊙ (g_i − (g_i·s_i)·1)
+		da := mat.New(g.Rows, g.Cols)
+		for i := 0; i < g.Rows; i++ {
+			srow, grow, drow := v.Row(i), g.Row(i), da.Row(i)
+			var dot float64
+			for j, s := range srow {
+				dot += grow[j] * s
+			}
+			for j, s := range srow {
+				drow[j] = s * (grow[j] - dot)
+			}
+		}
+		a.accumulate(da)
+	}, a)
+}
+
+// LogSoftmax returns row-wise log-softmax(a).
+func LogSoftmax(a *Node) *Node {
+	v := mat.LogSoftmaxRows(a.Value)
+	return a.tape.newNode(v, func(g *mat.Matrix) {
+		// da = g − softmax(a) ⊙ rowsum(g)
+		da := mat.New(g.Rows, g.Cols)
+		for i := 0; i < g.Rows; i++ {
+			lrow, grow, drow := v.Row(i), g.Row(i), da.Row(i)
+			var gsum float64
+			for _, gv := range grow {
+				gsum += gv
+			}
+			for j, lv := range lrow {
+				drow[j] = grow[j] - math.Exp(lv)*gsum
+			}
+		}
+		a.accumulate(da)
+	}, a)
+}
+
+// GumbelSoftmax draws Gumbel noise, adds it to the logits, divides by
+// temperature tau and applies row-wise softmax (Jang et al., 2016).
+// With hard=true the forward value is the one-hot argmax but gradients use
+// the soft sample (straight-through estimator).
+func GumbelSoftmax(logits *Node, tau float64, hard bool, rng *rand.Rand) *Node {
+	if tau <= 0 {
+		panic("tensor: Gumbel-softmax temperature must be positive")
+	}
+	perturbed := mat.New(logits.Value.Rows, logits.Value.Cols)
+	for i, x := range logits.Value.Data {
+		u := rng.Float64()
+		for u == 0 { // avoid log(0)
+			u = rng.Float64()
+		}
+		gumbel := -math.Log(-math.Log(u))
+		perturbed.Data[i] = (x + gumbel) / tau
+	}
+	soft := mat.SoftmaxRows(perturbed)
+	value := soft
+	if hard {
+		value = mat.New(soft.Rows, soft.Cols)
+		for i, j := range soft.ArgmaxRows() {
+			value.Set(i, j, 1)
+		}
+	}
+	return logits.tape.newNode(value, func(g *mat.Matrix) {
+		// Gradient of softmax((logits+G)/tau) w.r.t. logits.
+		da := mat.New(g.Rows, g.Cols)
+		for i := 0; i < g.Rows; i++ {
+			srow, grow, drow := soft.Row(i), g.Row(i), da.Row(i)
+			var dot float64
+			for j, s := range srow {
+				dot += grow[j] * s
+			}
+			for j, s := range srow {
+				drow[j] = s * (grow[j] - dot) / tau
+			}
+		}
+		logits.accumulate(da)
+	}, logits)
+}
