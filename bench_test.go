@@ -7,11 +7,14 @@ package repro
 // full reproduction run. Suites are trained once per process and cached.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -220,6 +223,178 @@ func BenchmarkPPRGoAggregation(b *testing.B) {
 		macs = m
 	}
 	b.ReportMetric(float64(macs), "aggMACs")
+}
+
+// --- serving-engine benchmarks -------------------------------------------
+
+// withGOMAXPROCS runs fn with the given parallelism (the par helper reads
+// GOMAXPROCS per call, so this toggles serial vs parallel kernels).
+func withGOMAXPROCS(n int, fn func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// BenchmarkMulDenseRows contrasts the serial and parallel row-subset SpMM
+// (nnz-balanced partition; identical on single-CPU machines).
+func BenchmarkMulDenseRows(b *testing.B) {
+	ds, adj := benchGraph(b)
+	targets := make([]int, 0, ds.Graph.N()/2)
+	for i := 0; i < ds.Graph.N(); i += 2 {
+		targets = append(targets, i)
+	}
+	out := mat.New(ds.Graph.N(), ds.Graph.F())
+	b.Run("serial", func(b *testing.B) {
+		withGOMAXPROCS(1, func() {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adj.MulDenseRows(targets, ds.Graph.Features, out)
+			}
+		})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			adj.MulDenseRows(targets, ds.Graph.Features, out)
+		}
+	})
+}
+
+// BenchmarkDeploymentRefresh is the once-per-deployment cost of the cached
+// serving state (normalized adjacency + stationary weighted sum) that the
+// seed engine used to pay on every batch.
+func BenchmarkDeploymentRefresh(b *testing.B) {
+	s := trainedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Dep.Refresh()
+	}
+}
+
+// BenchmarkInferMultiBatch is the end-to-end serving benchmark: many small
+// NAP_d batches against one deployment, serially and fanned out.
+func BenchmarkInferMultiBatch(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(200)
+	set := s.SettingsDistance()[0]
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts,
+		TMin: set.TMin, TMax: set.TMax, BatchSize: 10}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opt := opt
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Dep.Infer(targets, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// measureNsPerOp times fn with one warm-up call and then as many timed
+// iterations as fit in ~300ms (at least 3). testing.Benchmark cannot be
+// used here: it deadlocks on the global benchmark lock when invoked from
+// inside a running benchmark.
+func measureNsPerOp(fn func()) int64 {
+	fn() // warm-up
+	var iters int64
+	start := time.Now()
+	for time.Since(start) < 300*time.Millisecond || iters < 3 {
+		fn()
+		iters++
+	}
+	return time.Since(start).Nanoseconds() / iters
+}
+
+// BenchmarkInferBaselineJSON measures the serving engine's headline
+// numbers and persists them to BENCH_infer.json so later PRs have a perf
+// trajectory to compare against. Variants are timed internally, so this
+// benchmark's own b.N is irrelevant.
+func BenchmarkInferBaselineJSON(b *testing.B) {
+	s := trainedSuite(b)
+	targets := s.TestSubset(200)
+	set := s.SettingsDistance()[0]
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts,
+		TMin: set.TMin, TMax: set.TMax, BatchSize: 10}
+	res, err := s.Dep.Infer(targets, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	g := s.DS.Graph
+	rows := make([]int, 0, g.N()/2)
+	for i := 0; i < g.N(); i += 2 {
+		rows = append(rows, i)
+	}
+	out := mat.New(g.N(), g.F())
+	adj := s.Dep.Adj
+
+	woptFan := opt
+	woptFan.Workers = 4
+	variants := []struct {
+		name string
+		// maxprocs pins GOMAXPROCS around the whole measurement (0 keeps
+		// the default) so the toggle itself is never timed.
+		maxprocs int
+		fn       func()
+	}{
+		{"refresh", 0, func() { s.Dep.Refresh() }},
+		{"mulDenseRows/serial", 1, func() { adj.MulDenseRows(rows, g.Features, out) }},
+		{"mulDenseRows/parallel", 0, func() { adj.MulDenseRows(rows, g.Features, out) }},
+		{"infer/distance-multibatch", 0, func() {
+			if _, err := s.Dep.Infer(targets, opt); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"infer/distance-multibatch-workers4", 0, func() {
+			if _, err := s.Dep.Infer(targets, woptFan); err != nil {
+				b.Fatal(err)
+			}
+		}},
+	}
+
+	type entry struct {
+		NsPerOp int64 `json:"ns_per_op"`
+	}
+	baseline := struct {
+		Dataset    string            `json:"dataset"`
+		N          int               `json:"n"`
+		F          int               `json:"f"`
+		K          int               `json:"k"`
+		BatchSize  int               `json:"batch_size"`
+		NumTargets int               `json:"num_targets"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		MACs       core.MACBreakdown `json:"infer_macs"`
+		Benchmarks map[string]entry  `json:"benchmarks"`
+	}{
+		Dataset:    "flickr-like",
+		N:          g.N(),
+		F:          g.F(),
+		K:          s.Model.K,
+		BatchSize:  opt.BatchSize,
+		NumTargets: len(targets),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MACs:       res.MACs,
+		Benchmarks: map[string]entry{},
+	}
+	for _, v := range variants {
+		var ns int64
+		if v.maxprocs > 0 {
+			withGOMAXPROCS(v.maxprocs, func() { ns = measureNsPerOp(v.fn) })
+		} else {
+			ns = measureNsPerOp(v.fn)
+		}
+		baseline.Benchmarks[v.name] = entry{NsPerOp: ns}
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_infer.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(0, "ns/extra")
+	fmt.Fprintln(os.Stderr, "  [BENCH_infer.json written]")
 }
 
 func BenchmarkGateDecision(b *testing.B) {

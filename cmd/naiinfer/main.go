@@ -113,7 +113,7 @@ func main() {
 // tuneThreshold converts a validation-distance quantile into T_s.
 func tuneThreshold(dep *core.Deployment, ds *synth.Dataset, m *core.Model, q float64) float64 {
 	feats := scalable.Propagate(dep.Adj, ds.Graph.Features, 1)
-	st := core.ComputeStationary(ds.Graph.Adj, ds.Graph.Features, m.Gamma)
+	st := dep.Stationary() // cached on the deployment, not recomputed
 	val := ds.Split.Val
 	d := mat.RowDistances(feats[1].GatherRows(val), st.Rows(val))
 	sort.Float64s(d)

@@ -4,6 +4,19 @@
 // the system inventory and per-experiment index, and EXPERIMENTS.md for
 // paper-vs-measured results.
 //
+// Serving runs on a concurrent, zero-recompute engine (internal/core):
+// a Deployment is read-only after construction — the normalized adjacency
+// and the stationary state X(∞) are cached once (refreshable via
+// Deployment.Refresh) — and all per-request state lives in pooled scratch,
+// so Infer is safe for concurrent callers and can fan batches out across
+// goroutines (InferenceOptions.Workers). Supporting sets for all hops of a
+// batch come from one multi-source BFS, re-derived only after early-exit
+// waves, and propagation runs through a parallel, nnz-balanced sparse
+// kernel (internal/sparse, internal/par). Reported MACs still follow the
+// paper's per-batch accounting (Algorithm 1 recomputes X(∞) per batch), so
+// measured wall-clock improves while MAC tables stay comparable;
+// BENCH_infer.json holds the perf baseline.
+//
 // The root package only anchors the module; all functionality lives in
 // internal/... packages, the cmd/... binaries and the runnable examples.
 package repro

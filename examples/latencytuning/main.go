@@ -48,7 +48,7 @@ func main() {
 
 	// validation distance quantiles → candidate thresholds
 	feats := scalable.Propagate(dep.Adj, g.Features, 1)
-	st := core.ComputeStationary(g.Adj, g.Features, m.Gamma)
+	st := dep.Stationary() // cached on the deployment, not recomputed
 	dists := mat.RowDistances(feats[1].GatherRows(ds.Split.Val), st.Rows(ds.Split.Val))
 	sort.Float64s(dists)
 	quantile := func(q float64) float64 { return dists[int(q*float64(len(dists)-1))] }

@@ -139,10 +139,12 @@ func (m *NOSMOG) Infer(g *graph.Graph, targets []int, batchSize int) *Result {
 	d := len(m.Anchors)
 	for _, batch := range graph.Batches(targets, batchSize) {
 		start := time.Now()
-		// 1-hop aggregation of neighbor position rows
+		// 1-hop aggregation of neighbor position rows. MulDenseRows
+		// requires duplicate-free rows (it writes them in parallel), and
+		// batch comes verbatim from the caller — dedupe defensively.
 		fpStart := time.Now()
 		posAgg := mat.New(g.N(), d)
-		fpMACs := norm.MulDenseRows(batch, posTable, posAgg)
+		fpMACs := norm.MulDenseRows(dedupRows(batch), posTable, posAgg)
 		fpTime := time.Since(fpStart)
 		x := mat.ConcatCols(g.Features.GatherRows(batch), posAgg.GatherRows(batch))
 		pred := m.Student.Predict(x)
@@ -153,4 +155,31 @@ func (m *NOSMOG) Infer(g *graph.Graph, targets []int, batchSize int) *Result {
 		agg.merge(res)
 	}
 	return agg
+}
+
+// dedupRows returns a sorted duplicate-free copy of rows (returns rows
+// itself when already sorted and unique, the common case).
+func dedupRows(rows []int) []int {
+	if sort.IntsAreSorted(rows) {
+		unique := true
+		for i := 1; i < len(rows); i++ {
+			if rows[i] == rows[i-1] {
+				unique = false
+				break
+			}
+		}
+		if unique {
+			return rows
+		}
+	}
+	out := append([]int(nil), rows...)
+	sort.Ints(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -46,6 +48,11 @@ type InferenceOptions struct {
 	TMin, TMax int
 	// BatchSize splits the targets; ≤0 means one batch.
 	BatchSize int
+	// Workers is the number of goroutines batches are fanned out across;
+	// ≤1 processes batches sequentially. Results are independent of the
+	// worker count (batches are merged in order), but with Workers > 1 the
+	// per-batch TotalTime/FPTime sums can exceed wall-clock time.
+	Workers int
 	// NoSupportRecompute freezes the supporting sets computed for the
 	// initial batch instead of shrinking them after each early-exit wave
 	// (ablation of the engine's set-recomputation optimization; results
@@ -67,7 +74,11 @@ func (o InferenceOptions) Validate(m *Model) error {
 // MACBreakdown counts multiply-accumulate operations per procedure,
 // matching the paper's evaluation protocol (§IV-A).
 type MACBreakdown struct {
-	Stationary     int // stationary-state computation (per batch)
+	// Stationary is the stationary-state cost, charged per batch as in
+	// Algorithm 1 line 2. The engine actually computes the global weighted
+	// sum once per deployment (see Deployment), so wall-clock time no
+	// longer pays this term, but MACs keep the paper's accounting.
+	Stationary     int
 	Propagation    int // sparse feature propagation over supporting rows
 	Decision       int // distance computation or gate evaluation
 	Combine        int // model-specific feature combination (S²GC/GAMLP)
@@ -100,8 +111,10 @@ type Result struct {
 	// NodesPerDepth[l] counts targets classified at depth l (1..K).
 	NodesPerDepth []int
 	MACs          MACBreakdown
-	// TotalTime covers stationary state, supporting-node sampling,
-	// propagation, decisions, combination and classification.
+	// TotalTime sums per-batch serving time: stationary-row
+	// materialization, supporting-node sampling, propagation, decisions,
+	// combination and classification. With Workers > 1 batches overlap, so
+	// this can exceed wall-clock time.
 	TotalTime time.Duration
 	// FPTime covers propagation and decisions only (the paper's "FP Time").
 	FPTime     time.Duration
@@ -121,18 +134,26 @@ func (r *Result) merge(o *Result) {
 }
 
 // Deployment is a model served against a full graph (which now includes
-// the unseen test nodes). It owns the normalized adjacency and reusable
-// propagation buffers; it is not safe for concurrent use.
+// the unseen test nodes). It owns the normalized adjacency and the cached
+// stationary state, computed once at construction (and on Refresh) instead
+// of per batch. The deployment is read-only after construction: all
+// per-request state lives in pooled scratch, so Infer is safe for
+// concurrent callers.
 type Deployment struct {
 	Model *Model
 	Graph *graph.Graph
 	// Adj is the γ-normalized adjacency of the full serving graph.
 	Adj *sparse.CSR
 
-	buffers []*mat.Matrix // per-depth propagation buffers, lazily allocated
+	// stationary caches ComputeStationary's global weighted sum; batches
+	// only materialize their target rows from it (O(b·f), not O(n·f)).
+	stationary *Stationary
+
+	scratch sync.Pool // *inferScratch
 }
 
-// NewDeployment prepares a model for serving on g.
+// NewDeployment prepares a model for serving on g, computing the
+// normalized adjacency and the stationary state once.
 func NewDeployment(m *Model, g *graph.Graph) (*Deployment, error) {
 	if g.F() != m.FeatureDim {
 		return nil, fmt.Errorf("core: graph feature dim %d != model %d", g.F(), m.FeatureDim)
@@ -140,37 +161,155 @@ func NewDeployment(m *Model, g *graph.Graph) (*Deployment, error) {
 	if g.NumClasses != m.NumClasses {
 		return nil, fmt.Errorf("core: graph classes %d != model %d", g.NumClasses, m.NumClasses)
 	}
-	return &Deployment{
-		Model: m,
-		Graph: g,
-		Adj:   sparse.NormalizedAdjacency(g.Adj, m.Gamma),
-	}, nil
+	d := &Deployment{Model: m, Graph: g}
+	d.Refresh()
+	return d, nil
+}
+
+// Refresh recomputes the cached normalized adjacency and stationary state
+// after in-place mutations of the serving graph (new edges or features).
+// It must not be called concurrently with Infer.
+func (d *Deployment) Refresh() {
+	d.Adj = sparse.NormalizedAdjacency(d.Graph.Adj, d.Model.Gamma)
+	d.stationary = ComputeStationary(d.Graph.Adj, d.Graph.Features, d.Model.Gamma)
+}
+
+// Stationary returns the cached stationary state X(∞) of the serving graph.
+func (d *Deployment) Stationary() *Stationary { return d.stationary }
+
+// inferScratch is the per-request mutable state of Algorithm 1. Pooling it
+// keeps Deployment read-only (concurrency) and keeps the O(n·f) propagation
+// buffers, the O(n) BFS mark buffer and the gathered-row matrices out of
+// the per-batch allocation churn (zero-recompute serving).
+//
+// Memory note: each scratch holds TMax full-graph n×f buffers, so peak
+// memory scales with the number of concurrently executing batches
+// (concurrent callers × their Workers). Size the caller/worker count to
+// the machine on very large serving graphs; compacting the buffers to
+// supporting-set height is a known follow-up (see ROADMAP).
+type inferScratch struct {
+	// buffers[l] holds X^{(l)} over the full graph; only supporting rows
+	// are ever written or read. Index 0 is unused (X^{(0)} is g.Features).
+	buffers []*mat.Matrix
+	// visited is the multi-source BFS mark buffer for supporting sets.
+	visited []bool
+	// rm marks batch-local target indices during removeIndices.
+	rm []bool
+	// arena backs the transient gathered-row matrices of decide/classify.
+	arena arena
+}
+
+// arena is a bump allocator for matrices that live only within one
+// decide or classify call. Matrices are handed out uninitialized; callers
+// fully overwrite every row they take.
+type arena struct {
+	buf []float64
+	off int
+}
+
+func (a *arena) reset() { a.off = 0 }
+
+func (a *arena) matrix(r, c int) *mat.Matrix {
+	n := r * c
+	if a.off+n > len(a.buf) {
+		// Outstanding matrices keep the old buffer alive; new requests
+		// carve from a fresh, larger one.
+		a.buf = make([]float64, 2*(a.off+n))
+		a.off = 0
+	}
+	m := mat.FromData(r, c, a.buf[a.off:a.off+n])
+	a.off += n
+	return m
+}
+
+// getScratch pops (or allocates) a scratch sized for the serving graph and
+// tmax propagation buffers.
+func (d *Deployment) getScratch(tmax, batch int) *inferScratch {
+	sc, _ := d.scratch.Get().(*inferScratch)
+	if sc == nil {
+		sc = &inferScratch{}
+	}
+	n, f := d.Graph.N(), d.Graph.F()
+	for len(sc.buffers) <= tmax {
+		sc.buffers = append(sc.buffers, nil)
+	}
+	for l := 1; l <= tmax; l++ {
+		if sc.buffers[l] == nil || sc.buffers[l].Rows != n || sc.buffers[l].Cols != f {
+			sc.buffers[l] = mat.New(n, f)
+		}
+	}
+	if len(sc.visited) < n {
+		sc.visited = make([]bool, n)
+	}
+	if len(sc.rm) < batch {
+		sc.rm = make([]bool, batch)
+	}
+	return sc
 }
 
 // Infer runs Algorithm 1 over the targets in batches and aggregates.
+// It is safe for concurrent callers on one Deployment; additionally,
+// opt.Workers > 1 fans the batches of this call out across goroutines.
 func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error) {
 	if err := opt.Validate(d.Model); err != nil {
 		return nil, err
 	}
 	agg := &Result{NodesPerDepth: make([]int, d.Model.K+1)}
+	if len(targets) == 0 {
+		return agg, nil
+	}
 	batchSize := opt.BatchSize
 	if batchSize <= 0 {
 		batchSize = len(targets)
 	}
-	if len(targets) == 0 {
+	batches := graph.Batches(targets, batchSize)
+	runBatch := func(i int) *Result {
+		sc := d.getScratch(opt.TMax, len(batches[i]))
+		res := d.inferBatch(batches[i], opt, sc)
+		d.scratch.Put(sc)
+		return res
+	}
+
+	workers := opt.Workers
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers <= 1 {
+		for i := range batches {
+			agg.merge(runBatch(i))
+		}
 		return agg, nil
 	}
-	for _, batch := range graph.Batches(targets, batchSize) {
-		agg.merge(d.inferBatch(batch, opt))
+
+	// Fan out, then merge in batch order so results are identical to the
+	// sequential path.
+	results := make([]*Result, len(batches))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batches) {
+					return
+				}
+				results[i] = runBatch(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		agg.merge(r)
 	}
 	return agg, nil
 }
 
 // inferBatch is Algorithm 1 for one batch V_b.
-func (d *Deployment) inferBatch(targets []int, opt InferenceOptions) *Result {
+func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferScratch) *Result {
 	m := d.Model
 	g := d.Graph
-	f := g.F()
 	res := &Result{
 		Pred:          make([]int, len(targets)),
 		Depths:        make([]int, len(targets)),
@@ -179,20 +318,20 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions) *Result {
 	}
 	start := time.Now()
 
-	// Line 2: stationary state for the batch (skipped entirely without NAP).
-	var st *Stationary
+	// Line 2: stationary rows for the batch (skipped entirely without
+	// NAP). The global weighted sum is cached on the deployment; MACs are
+	// still charged per batch, mirroring Algorithm 1's protocol.
 	var xinf *mat.Matrix // stationary rows aligned with `targets`
 	if opt.Mode != ModeFixed {
-		st = ComputeStationary(g.Adj, g.Features, m.Gamma)
+		st := d.stationary
 		xinf = st.Rows(targets)
 		res.MACs.Stationary = st.SumMACs + len(targets)*st.RowMACs()
 	}
 
-	d.ensureBuffers(opt.TMax, f)
 	feats := make([]*mat.Matrix, opt.TMax+1)
 	feats[0] = g.Features
 	for l := 1; l <= opt.TMax; l++ {
-		feats[l] = d.buffers[l]
+		feats[l] = sc.buffers[l]
 	}
 
 	// active[i] indexes into `targets`; global ids in activeNodes.
@@ -201,16 +340,18 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions) *Result {
 		active[i] = i
 	}
 
+	// Lines 3/5: one multi-source BFS yields the nested supporting sets
+	// N^(TMax−l) for every hop at once: nested[l−1−base] is the ball of
+	// radius TMax−l around the targets that were active at hop `base`.
+	// After an early-exit wave the balls shrink, so the remaining hops'
+	// sets are re-derived from one BFS around the survivors — one BFS per
+	// exit wave instead of one from-scratch BFS per hop.
+	nested := graph.SupportingSetsScratch(g.Adj, targets, opt.TMax-1, sc.visited)
+	base := 0
+
 	var fpTime time.Duration
 	for l := 1; l <= opt.TMax; l++ {
-		// Line 3/5: supporting rows for this hop are the ball of radius
-		// TMax−l around the still-active targets; recomputing after each
-		// exit wave shrinks later hops (sampling counts in Time, not FP).
-		ballCenters := targets
-		if !opt.NoSupportRecompute {
-			ballCenters = gather(targets, active)
-		}
-		rows := graph.Ball(g.Adj, ballCenters, opt.TMax-l)
+		rows := nested[l-1-base]
 
 		fpStart := time.Now()
 		res.MACs.Propagation += d.Adj.MulDenseRows(rows, feats[l-1], feats[l])
@@ -222,18 +363,25 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions) *Result {
 		if l < opt.TMax && opt.Mode != ModeFixed {
 			// Lines 9-13: decide and classify early exits.
 			decStart := time.Now()
-			exit := d.decide(l, feats[l], xinf, targets, active, opt, &res.MACs)
+			exit := d.decide(l, feats[l], xinf, targets, active, opt, &res.MACs, sc)
 			fpTime += time.Since(decStart)
 			if len(exit) > 0 {
-				d.classify(l, feats, targets, exit, res)
-				active = removeIndices(active, exit)
+				d.classify(l, feats, targets, exit, res, sc)
+				active = removeIndices(active, exit, sc.rm)
 				if len(active) == 0 {
 					break
+				}
+				if !opt.NoSupportRecompute {
+					// Shrink: the remaining hops only need balls around
+					// the survivors (sampling counts in Time, not FP).
+					nested = graph.SupportingSetsScratch(
+						g.Adj, gather(targets, active), opt.TMax-l-1, sc.visited)
+					base = l
 				}
 			}
 		} else if l == opt.TMax {
 			// Lines 16-17: everything left is classified at T_max.
-			d.classify(l, feats, targets, active, res)
+			d.classify(l, feats, targets, active, res, sc)
 			active = nil
 		}
 	}
@@ -245,7 +393,7 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions) *Result {
 // decide returns the subset of active (indices into targets) that exits at
 // depth l, charging decision MACs.
 func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
-	opt InferenceOptions, macs *MACBreakdown) []int {
+	opt InferenceOptions, macs *MACBreakdown, sc *inferScratch) []int {
 
 	f := xl.Cols
 	var exit []int
@@ -267,8 +415,9 @@ func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
 		macs.Decision += len(active) * f
 	case ModeGate:
 		gate := d.Model.Gates[l]
-		xlRows := mat.New(len(active), f)
-		xinfRows := mat.New(len(active), f)
+		sc.arena.reset()
+		xlRows := sc.arena.matrix(len(active), f)
+		xinfRows := sc.arena.matrix(len(active), f)
 		for k, ti := range active {
 			copy(xlRows.Row(k), xl.Row(targets[ti]))
 			copy(xinfRows.Row(k), xinf.Row(ti))
@@ -285,14 +434,20 @@ func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
 
 // classify predicts the given target indices with classifier f^{(l)},
 // charging combine and classification MACs.
-func (d *Deployment) classify(l int, feats []*mat.Matrix, targets []int, idx []int, res *Result) {
+func (d *Deployment) classify(l int, feats []*mat.Matrix, targets []int, idx []int,
+	res *Result, sc *inferScratch) {
+
 	if len(idx) == 0 {
 		return
 	}
 	nodes := gather(targets, idx)
+	sc.arena.reset()
 	stack := make([]*mat.Matrix, l+1)
 	for j := 0; j <= l; j++ {
-		stack[j] = feats[j].GatherRows(nodes)
+		stack[j] = sc.arena.matrix(len(nodes), feats[j].Cols)
+		for i, r := range nodes {
+			copy(stack[j].Row(i), feats[j].Row(r))
+		}
 	}
 	input := d.Model.Combiner.Combine(stack, l)
 	clf := d.Model.Classifiers[l]
@@ -306,18 +461,6 @@ func (d *Deployment) classify(l int, feats []*mat.Matrix, targets []int, idx []i
 	res.MACs.Classification += len(idx) * clf.MACsPerRow()
 }
 
-func (d *Deployment) ensureBuffers(tmax, f int) {
-	for len(d.buffers) <= tmax {
-		d.buffers = append(d.buffers, nil)
-	}
-	n := d.Graph.N()
-	for l := 1; l <= tmax; l++ {
-		if d.buffers[l] == nil || d.buffers[l].Rows != n || d.buffers[l].Cols != f {
-			d.buffers[l] = mat.New(n, f)
-		}
-	}
-}
-
 func gather(targets []int, idx []int) []int {
 	out := make([]int, len(idx))
 	for i, v := range idx {
@@ -326,9 +469,10 @@ func gather(targets []int, idx []int) []int {
 	return out
 }
 
-// removeIndices returns active minus the sorted-by-membership removal set.
-func removeIndices(active, remove []int) []int {
-	rm := make(map[int]bool, len(remove))
+// removeIndices returns active minus the removal set, preserving order. rm
+// is a caller-owned scratch indexed by batch-local target index, all-false
+// on entry and restored to all-false on return.
+func removeIndices(active, remove []int, rm []bool) []int {
 	for _, v := range remove {
 		rm[v] = true
 	}
@@ -337,6 +481,9 @@ func removeIndices(active, remove []int) []int {
 		if !rm[v] {
 			out = append(out, v)
 		}
+	}
+	for _, v := range remove {
+		rm[v] = false
 	}
 	return out
 }

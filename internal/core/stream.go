@@ -3,9 +3,10 @@ package core
 // Streaming front-end for the latency-sensitive scenarios the paper's
 // introduction motivates (fraud screening, session recommendation): a
 // deployment consumes requests from a channel and answers in arrival
-// order. The deployment's propagation buffers are reused across requests,
-// so a single goroutine owns the deployment — callers get concurrency by
-// fanning in requests, not by sharing the Deployment.
+// order. The Deployment itself is read-only and safe for concurrent
+// callers (per-request state is pooled), so Serve exists purely for
+// ordered request/response plumbing; callers that don't need arrival
+// order can simply share the Deployment across goroutines.
 
 // StreamRequest is one batch of unseen nodes to classify.
 type StreamRequest struct {

@@ -148,15 +148,25 @@ func (g *Graph) Induce(nodes []int) *Induced {
 // sorted ascending. sets[0] is the full radius-`hops` ball (the paper's
 // "supporting nodes", whose count explodes with depth).
 func SupportingSets(adj *sparse.CSR, targets []int, hops int) [][]int {
+	return SupportingSetsScratch(adj, targets, hops, make([]bool, adj.Rows))
+}
+
+// SupportingSetsScratch is SupportingSets with a caller-owned visited
+// buffer: mark must have length ≥ adj.Rows and be all-false on entry; it is
+// restored to all-false before returning. Serving paths that expand balls
+// every batch reuse one buffer instead of allocating O(n) per call.
+func SupportingSetsScratch(adj *sparse.CSR, targets []int, hops int, mark []bool) [][]int {
 	if hops < 0 {
 		panic("graph: negative hops")
+	}
+	if len(mark) < adj.Rows {
+		panic(fmt.Sprintf("graph: mark buffer length %d < %d nodes", len(mark), adj.Rows))
 	}
 	sets := make([][]int, hops+1)
 	cur := append([]int(nil), targets...)
 	sort.Ints(cur)
 	cur = dedupSorted(cur)
 	sets[hops] = cur
-	mark := make([]bool, adj.Rows)
 	for l := hops - 1; l >= 0; l-- {
 		for _, v := range cur {
 			mark[v] = true

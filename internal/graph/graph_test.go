@@ -191,6 +191,39 @@ func TestSupportingSetsMatchBFSBall(t *testing.T) {
 	}
 }
 
+func TestSupportingSetsScratchMatchesAndRestoresMark(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	adj := randomAdj(40, 0.08, rng)
+	mark := make([]bool, 40)
+	for trial := 0; trial < 20; trial++ {
+		targets := []int{rng.Intn(40), rng.Intn(40)}
+		hops := rng.Intn(4)
+		want := SupportingSets(adj, targets, hops)
+		got := SupportingSetsScratch(adj, targets, hops, mark)
+		if len(got) != len(want) {
+			t.Fatalf("len %d != %d", len(got), len(want))
+		}
+		for l := range want {
+			wantEq(t, got[l], want[l])
+		}
+		for v, m := range mark {
+			if m {
+				t.Fatalf("trial %d: mark[%d] left dirty", trial, v)
+			}
+		}
+	}
+}
+
+func TestSupportingSetsScratchShortMarkPanics(t *testing.T) {
+	g := lineGraph(t, 5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SupportingSetsScratch(g.Adj, []int{0}, 1, make([]bool, 2))
+}
+
 func TestSupportingSetsZeroHops(t *testing.T) {
 	g := lineGraph(t, 5, 2)
 	sets := SupportingSets(g.Adj, []int{1, 3}, 0)

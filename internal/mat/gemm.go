@@ -2,13 +2,9 @@ package mat
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-)
 
-// parallelThreshold is the approximate FLOP count above which GEMM fans out
-// across goroutines. Below it, goroutine overhead dominates.
-const parallelThreshold = 1 << 16
+	"repro/internal/par"
+)
 
 // MatMul returns a·b.
 func MatMul(a, b *Matrix) *Matrix {
@@ -33,11 +29,11 @@ func MatMulInto(dst, a, b *Matrix) {
 }
 
 // gemmInto accumulates a·b into out (out must be zeroed by the caller).
-// Uses the cache-friendly ikj ordering and splits rows across goroutines.
+// Uses the cache-friendly ikj ordering and splits rows across goroutines
+// via the shared par helper.
 func gemmInto(out, a, b *Matrix) {
 	m, k, n := a.Rows, a.Cols, b.Cols
-	work := m * k * n
-	rowRange := func(lo, hi int) {
+	par.For(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
@@ -52,33 +48,7 @@ func gemmInto(out, a, b *Matrix) {
 				}
 			}
 		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || m < 2 {
-		rowRange(0, m)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // MatMulTN returns aᵀ·b without materializing the transpose.
@@ -112,7 +82,7 @@ func MatMulNT(a, b *Matrix) *Matrix {
 	}
 	m, k, n := a.Rows, a.Cols, b.Rows
 	out := New(m, n)
-	rowRange := func(lo, hi int) {
+	par.For(m, m*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
@@ -125,33 +95,7 @@ func MatMulNT(a, b *Matrix) *Matrix {
 				orow[j] = s
 			}
 		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < parallelThreshold || workers < 2 || m < 2 {
-		rowRange(0, m)
-		return out
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 

@@ -1,0 +1,99 @@
+// Package par provides the one worker fan-out shared by every dense and
+// sparse kernel in the repository (GEMM, SpMM, row-subset SpMM). It exists
+// so the parallel split lives in exactly one place instead of being
+// hand-rolled per kernel, and so all kernels agree on when parallelism is
+// worth the goroutine overhead.
+//
+// Both entry points partition [0, n) into contiguous chunks and run the
+// chunk callback concurrently. Chunks never overlap and cover the range
+// exactly, so per-item output slots are written by exactly one goroutine
+// and results are bit-identical to a serial run regardless of the split.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Threshold is the approximate scalar-op count below which fan-out is
+// skipped: under it, goroutine startup dominates the work itself.
+const Threshold = 1 << 15
+
+// For splits [0, n) into one contiguous chunk per worker and runs fn on
+// each chunk. work is the caller's estimate of total scalar operations;
+// when it is under Threshold, or only one CPU is available, fn runs inline
+// on the whole range.
+func For(n, work int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers(n)
+	if work < Threshold || workers < 2 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForWeighted splits [0, n) into contiguous chunks of approximately equal
+// total weight(i) and runs fn on each chunk. Use it when per-item cost is
+// skewed (e.g. CSR rows whose degree follows a power law), where an even
+// item split would leave most workers idle behind the heaviest chunk.
+// work has the same meaning as in For. total is the precomputed sum of
+// weight over [0, n) when the caller already holds it (e.g. a matrix's
+// nnz); pass a negative value to have it summed here.
+func ForWeighted(n, work, total int, weight func(i int) int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers(n)
+	if work < Threshold || workers < 2 {
+		fn(0, n)
+		return
+	}
+	if total < 0 {
+		total = 0
+		for i := 0; i < n; i++ {
+			total += weight(i)
+		}
+	}
+	target := (total + workers - 1) / workers
+	if target < 1 {
+		target = 1
+	}
+	var wg sync.WaitGroup
+	lo, acc := 0, 0
+	for i := 0; i < n; i++ {
+		acc += weight(i)
+		if acc >= target || i == n-1 {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, i+1)
+			lo, acc = i+1, 0
+		}
+	}
+	wg.Wait()
+}
+
+func maxWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	return w
+}

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// coverage runs the given fan-out and checks that [0, n) is covered exactly
+// once using an atomic per-slot counter (also exercises -race).
+func coverage(t *testing.T, n int, run func(fn func(lo, hi int))) {
+	t.Helper()
+	hits := make([]int32, n)
+	run(func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+		for _, work := range []int{0, Threshold - 1, Threshold, 1 << 20} {
+			coverage(t, n, func(fn func(lo, hi int)) { For(n, work, fn) })
+		}
+	}
+}
+
+func TestForWeightedCoversRangeExactly(t *testing.T) {
+	weights := []func(int) int{
+		func(int) int { return 1 },
+		func(i int) int { return i * i },       // heavily skewed
+		func(i int) int { return (i % 7) * 3 }, // zeros mixed in
+		func(int) int { return 0 },             // all-zero weights
+	}
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+		for _, w := range weights {
+			total := 0
+			for i := 0; i < n; i++ {
+				total += w(i)
+			}
+			// both the summed-here and precomputed-total paths must cover
+			coverage(t, n, func(fn func(lo, hi int)) { ForWeighted(n, 1<<20, -1, w, fn) })
+			coverage(t, n, func(fn func(lo, hi int)) { ForWeighted(n, 1<<20, total, w, fn) })
+		}
+	}
+}
+
+func TestForSmallWorkRunsInline(t *testing.T) {
+	calls := 0
+	For(100, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("inline run got chunk [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("inline run made %d calls", calls)
+	}
+}
+
+func TestForWeightedBalancesSkew(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-CPU: fan-out is inline")
+	}
+	// One giant item at the end: the weighted split must not lump every
+	// light item with it into a single chunk's worth of imbalance beyond
+	// target + max item weight.
+	n := 1024
+	weight := func(i int) int {
+		if i == n-1 {
+			return 1 << 14
+		}
+		return 1
+	}
+	var chunks int32
+	ForWeighted(n, 1<<20, -1, weight, func(lo, hi int) { atomic.AddInt32(&chunks, 1) })
+	if chunks < 2 {
+		t.Fatalf("skewed weights produced %d chunk(s)", chunks)
+	}
+}

@@ -7,11 +7,10 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row format. Column indices
@@ -195,49 +194,28 @@ func (a *CSR) ToDense() *mat.Matrix {
 	return out
 }
 
-// MulDense returns a·x (SpMM), parallelized across row blocks.
+// MulDense returns a·x (SpMM), parallelized across nnz-balanced row blocks:
+// graph adjacencies have power-law degrees, so an even row split would
+// leave most workers idle behind the hub-heavy chunk.
 func (a *CSR) MulDense(x *mat.Matrix) *mat.Matrix {
 	if x.Rows != a.Cols {
 		panic(fmt.Sprintf("sparse: MulDense inner dims %d != %d", a.Cols, x.Rows))
 	}
 	out := mat.New(a.Rows, x.Cols)
-	rowRange := func(lo, hi int) {
+	par.ForWeighted(a.Rows, a.NNZ()*x.Cols, a.NNZ(), a.RowNNZ, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a.mulRowInto(out.Row(i), i, x)
 		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if a.NNZ()*x.Cols < 1<<15 || workers < 2 || a.Rows < 2 {
-		rowRange(0, a.Rows)
-		return out
-	}
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
 // MulDenseRows computes out[r] = (a·x)[r] for each r in rows, leaving other
 // rows of out untouched, and returns the number of multiply-accumulate
 // pairs processed (nnz over the selected rows × feature width). out must be
-// a.Rows×x.Cols and must not alias x.
+// a.Rows×x.Cols and must not alias x. The selected rows are processed in
+// parallel over nnz-balanced chunks, so rows must not contain duplicates
+// (every caller passes deduplicated supporting sets).
 func (a *CSR) MulDenseRows(rows []int, x, out *mat.Matrix) int {
 	if x.Rows != a.Cols {
 		panic(fmt.Sprintf("sparse: MulDenseRows inner dims %d != %d", a.Cols, x.Rows))
@@ -245,15 +223,18 @@ func (a *CSR) MulDenseRows(rows []int, x, out *mat.Matrix) int {
 	if out.Rows != a.Rows || out.Cols != x.Cols {
 		panic("sparse: MulDenseRows out shape mismatch")
 	}
-	nnz := 0
-	for _, r := range rows {
-		dst := out.Row(r)
-		for j := range dst {
-			dst[j] = 0
-		}
-		a.mulRowInto(dst, r, x)
-		nnz += a.RowNNZ(r)
-	}
+	nnz := a.NNZRows(rows)
+	par.ForWeighted(len(rows), nnz*x.Cols, nnz,
+		func(k int) int { return a.RowNNZ(rows[k]) },
+		func(lo, hi int) {
+			for _, r := range rows[lo:hi] {
+				dst := out.Row(r)
+				for j := range dst {
+					dst[j] = 0
+				}
+				a.mulRowInto(dst, r, x)
+			}
+		})
 	return nnz * x.Cols
 }
 

@@ -194,6 +194,34 @@ func TestMulDenseRowsOverwritesStale(t *testing.T) {
 	}
 }
 
+func TestMulDenseRowsParallelMatchesFull(t *testing.T) {
+	// Large enough that the nnz-balanced fan-out actually engages on
+	// multi-core machines (work ≥ par.Threshold); results must match the
+	// full product exactly on the selected rows either way.
+	rng := rand.New(rand.NewSource(12))
+	n, f := 400, 32
+	a := randomGraph(n, 0.05, rng)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	x := mat.Randn(n, f, 1, rng)
+	full := na.MulDense(x)
+	var rows []int
+	for i := 0; i < n; i += 3 {
+		rows = append(rows, i)
+	}
+	out := mat.New(n, f)
+	macs := na.MulDenseRows(rows, x, out)
+	if want := na.NNZRows(rows) * f; macs != want {
+		t.Fatalf("MACs = %d want %d", macs, want)
+	}
+	for _, r := range rows {
+		for j := 0; j < f; j++ {
+			if out.At(r, j) != full.At(r, j) {
+				t.Fatalf("row %d col %d: %v != %v", r, j, out.At(r, j), full.At(r, j))
+			}
+		}
+	}
+}
+
 func TestNormalizedAdjacencyRowStochastic(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	a := randomGraph(25, 0.15, rng)
