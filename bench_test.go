@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/ppr"
@@ -140,6 +141,7 @@ func BenchmarkInferenceVanilla(b *testing.B) {
 	s := trainedSuite(b)
 	targets := s.TestSubset(100)
 	opt := core.InferenceOptions{Mode: core.ModeFixed, TMin: 1, TMax: s.Model.K, BatchSize: 50}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Dep.Infer(targets, opt); err != nil {
@@ -154,6 +156,7 @@ func BenchmarkInferenceNAIDistance(b *testing.B) {
 	set := s.SettingsDistance()[0]
 	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts,
 		TMin: set.TMin, TMax: set.TMax, BatchSize: 50}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Dep.Infer(targets, opt); err != nil {
@@ -168,6 +171,7 @@ func BenchmarkInferenceNAIGate(b *testing.B) {
 	set := s.SettingsGate()[0]
 	opt := core.InferenceOptions{Mode: core.ModeGate, TMin: set.TMin,
 		TMax: set.TMax, BatchSize: 50}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Dep.Infer(targets, opt); err != nil {
@@ -245,6 +249,7 @@ func BenchmarkMulDenseRows(b *testing.B) {
 	}
 	out := mat.New(ds.Graph.N(), ds.Graph.F())
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		withGOMAXPROCS(1, func() {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -253,6 +258,7 @@ func BenchmarkMulDenseRows(b *testing.B) {
 		})
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			adj.MulDenseRows(targets, ds.Graph.Features, out)
 		}
@@ -280,6 +286,7 @@ func BenchmarkInferMultiBatch(b *testing.B) {
 		TMin: set.TMin, TMax: set.TMax, BatchSize: 10}
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			opt := opt
 			opt.Workers = workers
 			for i := 0; i < b.N; i++ {
@@ -291,19 +298,30 @@ func BenchmarkInferMultiBatch(b *testing.B) {
 	}
 }
 
-// measureNsPerOp times fn with one warm-up call and then as many timed
-// iterations as fit in ~300ms (at least 3). testing.Benchmark cannot be
-// used here: it deadlocks on the global benchmark lock when invoked from
-// inside a running benchmark.
-func measureNsPerOp(fn func()) int64 {
+// measureOp times fn with one warm-up call and then as many timed
+// iterations as fit in ~300ms (at least 3), reading heap counters around
+// the loop for B/op and allocs/op (the BENCH_infer.json schema lives in
+// internal/benchfmt, shared with the cmd/benchgate CI gate). A
+// testing.Benchmark cannot be used here: it deadlocks on the global
+// benchmark lock when invoked from inside a running benchmark.
+func measureOp(fn func()) benchfmt.OpStats {
 	fn() // warm-up
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	var iters int64
 	start := time.Now()
 	for time.Since(start) < 300*time.Millisecond || iters < 3 {
 		fn()
 		iters++
 	}
-	return time.Since(start).Nanoseconds() / iters
+	elapsed := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return benchfmt.OpStats{
+		NsPerOp:     elapsed / iters,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / iters,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / iters,
+	}
 }
 
 // BenchmarkInferBaselineJSON measures the serving engine's headline
@@ -353,20 +371,7 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 		}},
 	}
 
-	type entry struct {
-		NsPerOp int64 `json:"ns_per_op"`
-	}
-	baseline := struct {
-		Dataset    string            `json:"dataset"`
-		N          int               `json:"n"`
-		F          int               `json:"f"`
-		K          int               `json:"k"`
-		BatchSize  int               `json:"batch_size"`
-		NumTargets int               `json:"num_targets"`
-		GOMAXPROCS int               `json:"gomaxprocs"`
-		MACs       core.MACBreakdown `json:"infer_macs"`
-		Benchmarks map[string]entry  `json:"benchmarks"`
-	}{
+	baseline := benchfmt.File{
 		Dataset:    "flickr-like",
 		N:          g.N(),
 		F:          g.F(),
@@ -375,17 +380,18 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 		NumTargets: len(targets),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		MACs:       res.MACs,
-		Benchmarks: map[string]entry{},
+		Benchmarks: map[string]benchfmt.OpStats{},
 	}
 	for _, v := range variants {
-		var ns int64
+		var st benchfmt.OpStats
 		if v.maxprocs > 0 {
-			withGOMAXPROCS(v.maxprocs, func() { ns = measureNsPerOp(v.fn) })
+			withGOMAXPROCS(v.maxprocs, func() { st = measureOp(v.fn) })
 		} else {
-			ns = measureNsPerOp(v.fn)
+			st = measureOp(v.fn)
 		}
-		baseline.Benchmarks[v.name] = entry{NsPerOp: ns}
+		baseline.Benchmarks[v.name] = st
 	}
+	baseline.Scratch = measureScratch(b)
 	data, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -395,6 +401,68 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 	}
 	b.ReportMetric(0, "ns/extra")
 	fmt.Fprintln(os.Stderr, "  [BENCH_infer.json written]")
+}
+
+// scratchWorkload builds the small-batch/large-graph serving scenario on a
+// fresh deployment (empty scratch pool), so the retained scratch reflects
+// exactly this workload.
+func scratchWorkload(b *testing.B) (*core.Deployment, []int, core.InferenceOptions, *bench.Suite) {
+	b.Helper()
+	s, err := bench.GetSuite(bench.QuickConfig(), "products-like", "sgc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := s.SettingsDistance()[0]
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts,
+		TMin: 1, TMax: 2, BatchSize: 5}
+	dep, err := core.NewDeployment(s.Model, s.DS.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dep, s.TestSubset(50), opt, s
+}
+
+// measureScratch records the compacted-scratch memory model on the paper's
+// latency-sensitive workload (small batches against the largest, densest
+// graph at shallow depth); cmd/benchgate gates the reduction ≥5× in CI.
+func measureScratch(b *testing.B) benchfmt.ScratchStats {
+	dep, targets, opt, s := scratchWorkload(b)
+	if _, err := dep.Infer(targets, opt); err != nil {
+		b.Fatal(err)
+	}
+	g := s.DS.Graph
+	st := benchfmt.ScratchStats{
+		Workload:           "products-like/small-batch",
+		N:                  g.N(),
+		F:                  g.F(),
+		TMax:               opt.TMax,
+		BatchSize:          opt.BatchSize,
+		NumTargets:         len(targets),
+		ScratchBytes:       dep.ScratchBytes(),
+		FullGraphEquivExpr: "TMax*n*f*8",
+		FullGraphEquiv:     opt.TMax * g.N() * g.F() * 8,
+	}
+	st.ReductionX = float64(st.FullGraphEquiv) / float64(st.ScratchBytes)
+	return st
+}
+
+// BenchmarkInferCompactMemory is the memory-side serving benchmark: it runs
+// the small-batch/large-graph workload, reports allocs/op and B/op
+// (-benchmem), and attaches the retained per-batch scratch bytes plus the
+// dense-model equivalent so the compaction win stays a measured number.
+func BenchmarkInferCompactMemory(b *testing.B) {
+	dep, targets, opt, s := scratchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Infer(targets, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	g := s.DS.Graph
+	b.ReportMetric(float64(dep.ScratchBytes()), "scratchB/batch")
+	b.ReportMetric(float64(opt.TMax*g.N()*g.F()*8), "denseB/batch")
 }
 
 func BenchmarkGateDecision(b *testing.B) {

@@ -1,0 +1,101 @@
+// Command benchgate compares a freshly generated BENCH_infer.json against
+// the checked-in baseline and fails (exit 1) when the serving engine's
+// allocation footprint regresses. CI runs it after the benchmark job so the
+// perf/memory claims in the repository stay measured, not asserted.
+//
+// Only machine-independent numbers gate: B/op of the serial serving
+// benchmark (-gate, tolerance -tol, default 20%) and the compacted-scratch
+// reduction factor (-min-reduction, default 5×). Wall-clock ns/op differs
+// across runner hardware, and the Workers>1 variant's B/op moves with
+// GC-driven sync.Pool flushes under concurrency, so both are reported for
+// information only.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_infer.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	basePath := flag.String("baseline", "", "checked-in BENCH_infer.json to compare against")
+	curPath := flag.String("current", "BENCH_infer.json", "freshly generated BENCH_infer.json")
+	tol := flag.Float64("tol", 0.20, "allowed fractional B/op regression per gated benchmark")
+	minReduction := flag.Float64("min-reduction", 5, "required scratch-vs-dense memory reduction factor")
+	gateList := flag.String("gate", "infer/distance-multibatch",
+		"comma-separated benchmark names whose B/op is gated")
+	flag.Parse()
+	if *basePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	base, err := benchfmt.Load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := benchfmt.Load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	gated := map[string]bool{}
+	for _, name := range strings.Split(*gateList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			gated[name] = true
+		}
+	}
+
+	failed := false
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "base B/op", "cur B/op", "delta")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-40s MISSING from current run\n", name)
+			failed = true
+			continue
+		}
+		delta := "n/a"
+		if b.BytesPerOp > 0 {
+			frac := float64(c.BytesPerOp-b.BytesPerOp) / float64(b.BytesPerOp)
+			delta = fmt.Sprintf("%+.1f%%", 100*frac)
+			if gated[name] && frac > *tol {
+				delta += "  FAIL"
+				failed = true
+			}
+		}
+		fmt.Printf("%-40s %14d %14d %8s\n", name, b.BytesPerOp, c.BytesPerOp, delta)
+	}
+
+	fmt.Printf("\nscratch %-32s %10d B/batch (dense equiv %d B, %.1fx reduction)\n",
+		cur.Scratch.Workload, cur.Scratch.ScratchBytes, cur.Scratch.FullGraphEquiv, cur.Scratch.ReductionX)
+	if cur.Scratch.ScratchBytes == 0 {
+		fmt.Println("benchgate: FAIL — current run recorded no scratch measurement")
+		failed = true
+	} else if cur.Scratch.ReductionX < *minReduction {
+		fmt.Printf("benchgate: FAIL — scratch reduction %.1fx below required %.1fx\n",
+			cur.Scratch.ReductionX, *minReduction)
+		failed = true
+	}
+
+	if failed {
+		fmt.Println("\nbenchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: OK")
+}

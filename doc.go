@@ -11,11 +11,18 @@
 // so Infer is safe for concurrent callers and can fan batches out across
 // goroutines (InferenceOptions.Workers). Supporting sets for all hops of a
 // batch come from one multi-source BFS, re-derived only after early-exit
-// waves, and propagation runs through a parallel, nnz-balanced sparse
-// kernel (internal/sparse, internal/par). Reported MACs still follow the
-// paper's per-batch accounting (Algorithm 1 recomputes X(∞) per batch), so
-// measured wall-clock improves while MAC tables stay comparable;
-// BENCH_infer.json holds the perf baseline.
+// waves. Each batch then propagates in compacted coordinates: a remapped
+// sub-CSR is extracted over the batch's supporting ball S once
+// (sparse.CSR.ExtractRowsInto) and every hop, gate decision and
+// classification runs on |S|×f matrices, so the scratch one in-flight batch
+// retains is O(TMax·|S|·f) — per-batch memory follows the supporting set,
+// not the serving graph, and any number of concurrent callers can share a
+// very large graph. Propagation uses parallel, nnz-balanced sparse kernels
+// (internal/sparse, internal/par). Reported MACs still follow the paper's
+// per-batch accounting (Algorithm 1 recomputes X(∞) per batch), so measured
+// wall-clock and memory improve while MAC tables stay comparable;
+// BENCH_infer.json holds the perf baseline (B/op and the scratch-reduction
+// factor are regression-gated in CI by cmd/benchgate).
 //
 // The root package only anchors the module; all functionality lives in
 // internal/... packages, the cmd/... binaries and the runnable examples.

@@ -1,0 +1,69 @@
+// Package benchfmt defines the BENCH_infer.json schema shared by the root
+// serving benchmark (which writes the file) and cmd/benchgate (which gates
+// CI regressions against it). Keeping the struct tags in one place means a
+// renamed field breaks the build instead of silently unmarshalling zeros
+// and letting the gate pass vacuously.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// OpStats is one measured benchmark variant: wall-clock plus the allocation
+// footprint (B/op is the machine-independent number the CI perf gate
+// compares across runs).
+type OpStats struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// ScratchStats records the compacted-scratch memory model as tracked
+// numbers: on the small-batch/large-graph serving workload, the scratch one
+// in-flight batch retains must follow the supporting set, not the graph.
+// FullGraphEquiv is what the dense pre-compaction scratch held for the same
+// options (TMax full-graph n×f float64 buffers); ReductionX is the measured
+// win, gated in CI.
+type ScratchStats struct {
+	Workload           string  `json:"workload"`
+	N                  int     `json:"n"`
+	F                  int     `json:"f"`
+	TMax               int     `json:"tmax"`
+	BatchSize          int     `json:"batch_size"`
+	NumTargets         int     `json:"num_targets"`
+	ScratchBytes       int     `json:"scratch_bytes_per_batch"`
+	FullGraphEquivExpr string  `json:"full_graph_equiv_expr"`
+	FullGraphEquiv     int     `json:"full_graph_equiv_bytes"`
+	ReductionX         float64 `json:"reduction_x"`
+}
+
+// File is the full BENCH_infer.json document.
+type File struct {
+	Dataset    string             `json:"dataset"`
+	N          int                `json:"n"`
+	F          int                `json:"f"`
+	K          int                `json:"k"`
+	BatchSize  int                `json:"batch_size"`
+	NumTargets int                `json:"num_targets"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	MACs       core.MACBreakdown  `json:"infer_macs"`
+	Benchmarks map[string]OpStats `json:"benchmarks"`
+	Scratch    ScratchStats       `json:"scratch"`
+}
+
+// Load reads and parses a BENCH_infer.json file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

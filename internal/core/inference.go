@@ -178,25 +178,83 @@ func (d *Deployment) Refresh() {
 func (d *Deployment) Stationary() *Stationary { return d.stationary }
 
 // inferScratch is the per-request mutable state of Algorithm 1. Pooling it
-// keeps Deployment read-only (concurrency) and keeps the O(n·f) propagation
-// buffers, the O(n) BFS mark buffer and the gathered-row matrices out of
+// keeps Deployment read-only (concurrency) and keeps the propagation
+// buffers, the O(n) BFS/remap buffers and the gathered-row matrices out of
 // the per-batch allocation churn (zero-recompute serving).
 //
-// Memory note: each scratch holds TMax full-graph n×f buffers, so peak
-// memory scales with the number of concurrently executing batches
-// (concurrent callers × their Workers). Size the caller/worker count to
-// the machine on very large serving graphs; compacting the buffers to
-// supporting-set height is a known follow-up (see ROADMAP).
+// Memory note: propagation runs in compacted coordinates, so each scratch
+// holds TMax buffers of supporting-set height — O(TMax·|S|·f), where |S| is
+// the hop-0 ball of the batch — plus two O(n) byte/int32-sized maps (BFS
+// marks and the global→local remap). Peak memory therefore scales with
+// concurrently executing batches × their supporting sets, not with the
+// serving graph. All |S|-sized buffers — the slab, the sub-CSR, the row
+// lists and the decide/classify arena — grow geometrically across pool hits
+// and drop back to current need when a past batch left them more than 4×
+// oversized, so one huge request does not pin worst-case capacity forever.
 type inferScratch struct {
-	// buffers[l] holds X^{(l)} over the full graph; only supporting rows
-	// are ever written or read. Index 0 is unused (X^{(0)} is g.Features).
-	buffers []*mat.Matrix
+	// slab backs the TMax compacted propagation buffers: view l−1 holds
+	// X^{(l)} over the batch's supporting set S, row toLocal[v] per node v
+	// (X^{(0)} stays the full-graph feature matrix, read in place).
+	slab []float64
+	// locals[l] is the |S|×f view of X^{(l)} into slab; index 0 is unused.
+	locals []*mat.Matrix
+	// toLocal maps global node ids into S; −1 outside. All −1 between
+	// batches (IndexSet/ResetIndex pairs keep the invariant).
+	toLocal []int32
 	// visited is the multi-source BFS mark buffer for supporting sets.
 	visited []bool
 	// rm marks batch-local target indices during removeIndices.
 	rm []bool
+	// sub is the batch's compacted sub-CSR (rows within radius TMax−2 of
+	// the targets, all coordinates local to S), reused across batches.
+	sub sparse.CSR
+	// localRows holds one hop's propagation row list in local coordinates.
+	localRows []int
+	// tloc[i] is the local index of targets[i] in S.
+	tloc []int
 	// arena backs the transient gathered-row matrices of decide/classify.
 	arena arena
+}
+
+// growScratch resizes a scratch buffer to need elements: grown geometrically
+// when too small, dropped back to need when a previous batch left it more
+// than 4× oversized (so pooled scratches do not retain worst-case capacity
+// forever), reused as-is otherwise. Contents are not preserved.
+func growScratch[T any](buf []T, need int) []T {
+	const minRetain = 1024 // below this, retention is too cheap to fight
+	c := cap(buf)
+	switch {
+	case c < need:
+		return make([]T, need, sparse.GrownCap(c, need))
+	case c > 4*need && c > minRetain:
+		return make([]T, need)
+	default:
+		return buf[:need]
+	}
+}
+
+// ensureLocal sizes the compacted propagation buffers for a batch whose
+// supporting set has s rows, returning the per-depth |S|×f views (index 0
+// unused; X^{(0)} is the graph's feature matrix).
+func (sc *inferScratch) ensureLocal(tmax, s, f int) []*mat.Matrix {
+	sc.slab = growScratch(sc.slab, tmax*s*f)
+	if cap(sc.locals) < tmax+1 {
+		sc.locals = make([]*mat.Matrix, tmax+1)
+	}
+	sc.locals = sc.locals[:tmax+1]
+	sc.locals[0] = nil
+	for l := 1; l <= tmax; l++ {
+		sc.locals[l] = mat.FromData(s, f, sc.slab[(l-1)*s*f:l*s*f])
+	}
+	return sc.locals
+}
+
+// bytes reports the retained heap capacity of the scratch (benchmarks track
+// it to prove per-batch memory scales with |S|, not n).
+func (sc *inferScratch) bytes() int {
+	return cap(sc.slab)*8 + cap(sc.toLocal)*4 + cap(sc.visited) + cap(sc.rm) +
+		(cap(sc.sub.RowPtr)+cap(sc.sub.Col)+cap(sc.localRows)+cap(sc.tloc))*8 +
+		cap(sc.sub.Val)*8 + cap(sc.arena.buf)*8
 }
 
 // arena is a bump allocator for matrices that live only within one
@@ -205,6 +263,9 @@ type inferScratch struct {
 type arena struct {
 	buf []float64
 	off int
+	// hw is the high-water offset since the last shrink, so pooled
+	// scratches can drop an arena a past batch left oversized.
+	hw int
 }
 
 func (a *arena) reset() { a.off = 0 }
@@ -219,32 +280,57 @@ func (a *arena) matrix(r, c int) *mat.Matrix {
 	}
 	m := mat.FromData(r, c, a.buf[a.off:a.off+n])
 	a.off += n
+	if a.off > a.hw {
+		a.hw = a.off
+	}
 	return m
 }
 
-// getScratch pops (or allocates) a scratch sized for the serving graph and
-// tmax propagation buffers.
-func (d *Deployment) getScratch(tmax, batch int) *inferScratch {
+// shrink applies the scratch retention policy between requests: when the
+// buffer is more than 4× the high water of the last window, drop it so one
+// huge batch does not pin arena capacity in the pool forever.
+func (a *arena) shrink() {
+	const minRetain = 1024
+	if len(a.buf) > 4*a.hw && len(a.buf) > minRetain {
+		a.buf = make([]float64, a.hw)
+	}
+	a.off, a.hw = 0, 0
+}
+
+// getScratch pops (or allocates) a scratch with the graph-sized maps ready.
+// The |S|-sized buffers are grown per batch (ensureLocal), once the
+// supporting set is known.
+func (d *Deployment) getScratch(batch int) *inferScratch {
 	sc, _ := d.scratch.Get().(*inferScratch)
 	if sc == nil {
 		sc = &inferScratch{}
 	}
-	n, f := d.Graph.N(), d.Graph.F()
-	for len(sc.buffers) <= tmax {
-		sc.buffers = append(sc.buffers, nil)
-	}
-	for l := 1; l <= tmax; l++ {
-		if sc.buffers[l] == nil || sc.buffers[l].Rows != n || sc.buffers[l].Cols != f {
-			sc.buffers[l] = mat.New(n, f)
-		}
-	}
+	n := d.Graph.N()
 	if len(sc.visited) < n {
 		sc.visited = make([]bool, n)
+	}
+	if len(sc.toLocal) < n {
+		sc.toLocal = graph.NewIndex(n)
 	}
 	if len(sc.rm) < batch {
 		sc.rm = make([]bool, batch)
 	}
+	sc.arena.shrink()
 	return sc
+}
+
+// ScratchBytes reports the retained capacity in bytes of one pooled
+// inferScratch (the most recently released), approximating the scratch
+// memory one in-flight batch holds. Benchmarks and tests use it to track
+// that per-batch memory scales with supporting-set size, not graph size.
+func (d *Deployment) ScratchBytes() int {
+	sc, _ := d.scratch.Get().(*inferScratch)
+	if sc == nil {
+		return 0
+	}
+	b := sc.bytes()
+	d.scratch.Put(sc)
+	return b
 }
 
 // Infer runs Algorithm 1 over the targets in batches and aggregates.
@@ -264,7 +350,7 @@ func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error)
 	}
 	batches := graph.Batches(targets, batchSize)
 	runBatch := func(i int) *Result {
-		sc := d.getScratch(opt.TMax, len(batches[i]))
+		sc := d.getScratch(len(batches[i]))
 		res := d.inferBatch(batches[i], opt, sc)
 		d.scratch.Put(sc)
 		return res
@@ -306,7 +392,10 @@ func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error)
 	return agg, nil
 }
 
-// inferBatch is Algorithm 1 for one batch V_b.
+// inferBatch is Algorithm 1 for one batch V_b, run in compacted
+// coordinates: all propagation, gating and classification happens on
+// |S|×f matrices over the batch's hop-0 supporting ball S instead of
+// full-graph n×f buffers, with a global→local remap bridging the two.
 func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferScratch) *Result {
 	m := d.Model
 	g := d.Graph
@@ -328,12 +417,6 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 		res.MACs.Stationary = st.SumMACs + len(targets)*st.RowMACs()
 	}
 
-	feats := make([]*mat.Matrix, opt.TMax+1)
-	feats[0] = g.Features
-	for l := 1; l <= opt.TMax; l++ {
-		feats[l] = sc.buffers[l]
-	}
-
 	// active[i] indexes into `targets`; global ids in activeNodes.
 	active := make([]int, len(targets))
 	for i := range active {
@@ -349,12 +432,45 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 	nested := graph.SupportingSetsScratch(g.Adj, targets, opt.TMax-1, sc.visited)
 	base := 0
 
+	// Compact universe: S is the hop-0 ball of the full batch. Every later
+	// row set — deeper hops, and re-derived sets after exit waves — is a
+	// subset of S, so the remap stays valid for the whole batch.
+	support := nested[0]
+	s, f := len(support), g.F()
+	graph.IndexSet(support, sc.toLocal)
+	defer graph.ResetIndex(support, sc.toLocal)
+	locals := sc.ensureLocal(opt.TMax, s, f)
+	sc.tloc = growScratch(sc.tloc, len(targets))
+	for i, v := range targets {
+		sc.tloc[i] = int(sc.toLocal[v])
+	}
+	if opt.TMax >= 2 {
+		// Hops ≥ 2 propagate inside S: their row sets stay within the
+		// radius TMax−2 ball nested[1], whose neighbors all lie in S, so
+		// one remapped sub-CSR over those rows serves the whole batch.
+		// Pre-shaping the slices applies the scratch retention policy
+		// (geometric growth, 4× oversize drop) before extraction reuses them.
+		nnz := d.Adj.NNZRows(nested[1])
+		sc.sub.RowPtr = growScratch(sc.sub.RowPtr, s+1)
+		sc.sub.Col = growScratch(sc.sub.Col, nnz)
+		sc.sub.Val = growScratch(sc.sub.Val, nnz)
+		sc.localRows = growScratch(sc.localRows, len(nested[1]))
+		d.Adj.ExtractRowsInto(nested[1], sc.toLocal, s, &sc.sub)
+	}
+
 	var fpTime time.Duration
 	for l := 1; l <= opt.TMax; l++ {
 		rows := nested[l-1-base]
 
 		fpStart := time.Now()
-		res.MACs.Propagation += d.Adj.MulDenseRows(rows, feats[l-1], feats[l])
+		if l == 1 {
+			// Hop 1 reads the full-graph feature matrix: rows is exactly S,
+			// so compact output row k is local node k.
+			res.MACs.Propagation += d.Adj.MulDenseRowsCompact(rows, g.Features, locals[1])
+		} else {
+			sc.localRows = graph.LocalizeSet(rows, sc.toLocal, sc.localRows)
+			res.MACs.Propagation += sc.sub.MulDenseRows(sc.localRows, locals[l-1], locals[l])
+		}
 		fpTime += time.Since(fpStart)
 
 		if l < opt.TMin {
@@ -363,10 +479,10 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 		if l < opt.TMax && opt.Mode != ModeFixed {
 			// Lines 9-13: decide and classify early exits.
 			decStart := time.Now()
-			exit := d.decide(l, feats[l], xinf, targets, active, opt, &res.MACs, sc)
+			exit := d.decide(l, locals[l], xinf, active, opt, &res.MACs, sc)
 			fpTime += time.Since(decStart)
 			if len(exit) > 0 {
-				d.classify(l, feats, targets, exit, res, sc)
+				d.classify(l, locals, targets, exit, res, sc)
 				active = removeIndices(active, exit, sc.rm)
 				if len(active) == 0 {
 					break
@@ -381,7 +497,7 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 			}
 		} else if l == opt.TMax {
 			// Lines 16-17: everything left is classified at T_max.
-			d.classify(l, feats, targets, active, res, sc)
+			d.classify(l, locals, targets, active, res, sc)
 			active = nil
 		}
 	}
@@ -391,8 +507,9 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 }
 
 // decide returns the subset of active (indices into targets) that exits at
-// depth l, charging decision MACs.
-func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
+// depth l, charging decision MACs. xl is the depth-l propagation buffer in
+// compacted coordinates; target rows are reached through sc.tloc.
+func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, active []int,
 	opt InferenceOptions, macs *MACBreakdown, sc *inferScratch) []int {
 
 	f := xl.Cols
@@ -401,7 +518,7 @@ func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
 	case ModeDistance:
 		// ∆^{(l)}_i = ‖X^{(l)}_i − X(∞)_i‖ < T_s  (Eqs. 8-9)
 		for _, ti := range active {
-			row := xl.Row(targets[ti])
+			row := xl.Row(sc.tloc[ti])
 			ref := xinf.Row(ti)
 			var s float64
 			for j, v := range row {
@@ -419,7 +536,7 @@ func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
 		xlRows := sc.arena.matrix(len(active), f)
 		xinfRows := sc.arena.matrix(len(active), f)
 		for k, ti := range active {
-			copy(xlRows.Row(k), xl.Row(targets[ti]))
+			copy(xlRows.Row(k), xl.Row(sc.tloc[ti]))
 			copy(xinfRows.Row(k), xinf.Row(ti))
 		}
 		for k, ex := range gate.Decide(xlRows, xinfRows) {
@@ -433,20 +550,25 @@ func (d *Deployment) decide(l int, xl, xinf *mat.Matrix, targets, active []int,
 }
 
 // classify predicts the given target indices with classifier f^{(l)},
-// charging combine and classification MACs.
-func (d *Deployment) classify(l int, feats []*mat.Matrix, targets []int, idx []int,
+// charging combine and classification MACs. Depth-0 features come from the
+// full-graph matrix; depths ≥ 1 from the compacted buffers via sc.tloc.
+func (d *Deployment) classify(l int, locals []*mat.Matrix, targets []int, idx []int,
 	res *Result, sc *inferScratch) {
 
 	if len(idx) == 0 {
 		return
 	}
-	nodes := gather(targets, idx)
+	f := d.Graph.F()
 	sc.arena.reset()
 	stack := make([]*mat.Matrix, l+1)
 	for j := 0; j <= l; j++ {
-		stack[j] = sc.arena.matrix(len(nodes), feats[j].Cols)
-		for i, r := range nodes {
-			copy(stack[j].Row(i), feats[j].Row(r))
+		stack[j] = sc.arena.matrix(len(idx), f)
+		for i, ti := range idx {
+			if j == 0 {
+				copy(stack[j].Row(i), d.Graph.Features.Row(targets[ti]))
+			} else {
+				copy(stack[j].Row(i), locals[j].Row(sc.tloc[ti]))
+			}
 		}
 	}
 	input := d.Model.Combiner.Combine(stack, l)
@@ -457,7 +579,7 @@ func (d *Deployment) classify(l int, feats []*mat.Matrix, targets []int, idx []i
 		res.Depths[ti] = l
 	}
 	res.NodesPerDepth[l] += len(idx)
-	res.MACs.Combine += len(idx) * d.Model.Combiner.MACsPerRow(l, d.Graph.F())
+	res.MACs.Combine += len(idx) * d.Model.Combiner.MACsPerRow(l, f)
 	res.MACs.Classification += len(idx) * clf.MACsPerRow()
 }
 

@@ -206,6 +206,10 @@ func equivCases(k int) []InferenceOptions {
 			InferenceOptions{Mode: ModeDistance, Ts: 2.5, TMin: 2, TMax: k, BatchSize: batch},
 			InferenceOptions{Mode: ModeDistance, Ts: 1e9, TMin: 1, TMax: k, BatchSize: batch},
 			InferenceOptions{Mode: ModeGate, TMin: 1, TMax: k, BatchSize: batch},
+			// TMin == TMax: no decision hops; the compacted engine must
+			// still propagate every depth and classify only at TMax.
+			InferenceOptions{Mode: ModeDistance, Ts: 0.8, TMin: k, TMax: k, BatchSize: batch},
+			InferenceOptions{Mode: ModeGate, TMin: 2, TMax: 2, BatchSize: batch},
 		)
 	}
 	return cases

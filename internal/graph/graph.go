@@ -190,6 +190,54 @@ func SupportingSetsScratch(adj *sparse.CSR, targets []int, hops int, mark []bool
 	return sets
 }
 
+// IndexSet writes the compacted coordinates of a sorted node set into
+// toLocal: toLocal[set[i]] = i. toLocal must have length ≥ max(set)+1 and be
+// all −1 on the touched entries; pair every call with ResetIndex so one
+// full-graph map can be reused across batches. Because set is sorted, the
+// resulting partial map is monotone, which downstream consumers
+// (sparse.ExtractRowsInto, LocalizeSet) rely on to keep remapped CSR columns
+// and row lists sorted.
+func IndexSet(set []int, toLocal []int32) {
+	for i, v := range set {
+		toLocal[v] = int32(i)
+	}
+}
+
+// ResetIndex restores the entries IndexSet wrote for set back to −1.
+func ResetIndex(set []int, toLocal []int32) {
+	for _, v := range set {
+		toLocal[v] = -1
+	}
+}
+
+// NewIndex allocates an all −1 local-coordinate map for n nodes.
+func NewIndex(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	return idx
+}
+
+// LocalizeSet maps a set of global node ids through toLocal into dst
+// (reused when its capacity suffices) and returns the local-coordinate set.
+// Every node must be inside the indexed universe; sortedness is preserved
+// because IndexSet's map is monotone.
+func LocalizeSet(set []int, toLocal []int32, dst []int) []int {
+	if cap(dst) < len(set) {
+		dst = make([]int, len(set))
+	}
+	dst = dst[:len(set)]
+	for i, v := range set {
+		lv := toLocal[v]
+		if lv < 0 {
+			panic(fmt.Sprintf("graph: LocalizeSet node %d outside the indexed universe", v))
+		}
+		dst[i] = int(lv)
+	}
+	return dst
+}
+
 // Ball returns the sorted set of nodes within `radius` hops of targets
 // (including the targets themselves).
 func Ball(adj *sparse.CSR, targets []int, radius int) []int {

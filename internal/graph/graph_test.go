@@ -310,3 +310,97 @@ func randomAdj(n int, p float64, rng *rand.Rand) *sparse.CSR {
 	}
 	return sparse.FromEdges(n, src, dst, true)
 }
+
+func TestIndexSetLocalizeRoundTrip(t *testing.T) {
+	g := lineGraph(t, 10, 2)
+	toLocal := NewIndex(g.N())
+	for _, v := range toLocal {
+		if v != -1 {
+			t.Fatal("NewIndex not all -1")
+		}
+	}
+	universe := []int{2, 4, 5, 8}
+	IndexSet(universe, toLocal)
+	for i, v := range universe {
+		if toLocal[v] != int32(i) {
+			t.Fatalf("toLocal[%d] = %d want %d", v, toLocal[v], i)
+		}
+	}
+	local := LocalizeSet([]int{4, 5, 8}, toLocal, nil)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if local[i] != want[i] {
+			t.Fatalf("LocalizeSet = %v want %v", local, want)
+		}
+	}
+	// Sorted global input stays sorted locally (monotone map).
+	for i := 1; i < len(local); i++ {
+		if local[i] <= local[i-1] {
+			t.Fatalf("localized set not sorted: %v", local)
+		}
+	}
+	// Reuse: a longer destination buffer is truncated, not appended to.
+	buf := make([]int, 10)
+	local = LocalizeSet([]int{2}, toLocal, buf)
+	if len(local) != 1 || local[0] != 0 {
+		t.Fatalf("LocalizeSet with reused buffer = %v", local)
+	}
+	ResetIndex(universe, toLocal)
+	for _, v := range toLocal {
+		if v != -1 {
+			t.Fatal("ResetIndex did not restore -1")
+		}
+	}
+}
+
+func TestLocalizeSetOutsideUniversePanics(t *testing.T) {
+	toLocal := NewIndex(5)
+	IndexSet([]int{1, 3}, toLocal)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("node outside universe did not panic")
+		}
+	}()
+	LocalizeSet([]int{2}, toLocal, nil)
+}
+
+func TestSupportingSetsNestedInHopZeroBall(t *testing.T) {
+	// The compacted serving engine relies on every supporting set — and
+	// every set re-derived around a subset of the targets at a smaller
+	// radius — being contained in the original hop-0 ball.
+	rng := rand.New(rand.NewSource(7))
+	var src, dst []int
+	n := 60
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.05 {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	adj := sparse.FromEdges(n, src, dst, true)
+	targets := []int{3, 17, 42, 55}
+	hops := 3
+	sets := SupportingSets(adj, targets, hops)
+	in := make(map[int]bool)
+	for _, v := range sets[0] {
+		in[v] = true
+	}
+	for l := 1; l <= hops; l++ {
+		for _, v := range sets[l] {
+			if !in[v] {
+				t.Fatalf("sets[%d] node %d outside hop-0 ball", l, v)
+			}
+		}
+	}
+	survivors := targets[:2]
+	shrunk := SupportingSets(adj, survivors, hops-1)
+	for l := range shrunk {
+		for _, v := range shrunk[l] {
+			if !in[v] {
+				t.Fatalf("re-derived set %d node %d outside original ball", l, v)
+			}
+		}
+	}
+}

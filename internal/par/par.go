@@ -39,6 +39,12 @@ func For(n, work int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
+		if hi == n {
+			// The final chunk runs inline: the calling goroutine would
+			// otherwise just block in Wait.
+			fn(lo, hi)
+			break
+		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
@@ -79,6 +85,12 @@ func ForWeighted(n, work, total int, weight func(i int) int, fn func(lo, hi int)
 	for i := 0; i < n; i++ {
 		acc += weight(i)
 		if acc >= target || i == n-1 {
+			if i == n-1 {
+				// The final chunk runs inline: the calling goroutine
+				// would otherwise just block in Wait.
+				fn(lo, n)
+				break
+			}
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()

@@ -238,6 +238,95 @@ func (a *CSR) MulDenseRows(rows []int, x, out *mat.Matrix) int {
 	return nnz * x.Cols
 }
 
+// MulDenseRowsCompact computes out[k] = (a·x)[rows[k]] for k = 0..len(rows)
+// and returns the multiply-accumulate count, like MulDenseRows but with the
+// output gathered into compact row order: out is len(rows)×x.Cols instead of
+// a.Rows×x.Cols, so callers propagating over a supporting set can hold
+// |S|-height buffers rather than full-graph ones. The selected rows are
+// processed in parallel over nnz-balanced chunks; rows must not contain
+// duplicates. out must not alias x.
+func (a *CSR) MulDenseRowsCompact(rows []int, x, out *mat.Matrix) int {
+	if x.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: MulDenseRowsCompact inner dims %d != %d", a.Cols, x.Rows))
+	}
+	if out.Rows != len(rows) || out.Cols != x.Cols {
+		panic("sparse: MulDenseRowsCompact out shape mismatch")
+	}
+	nnz := a.NNZRows(rows)
+	par.ForWeighted(len(rows), nnz*x.Cols, nnz,
+		func(k int) int { return a.RowNNZ(rows[k]) },
+		func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				dst := out.Row(k)
+				for j := range dst {
+					dst[j] = 0
+				}
+				a.mulRowInto(dst, rows[k], x)
+			}
+		})
+	return nnz * x.Cols
+}
+
+// ExtractRowsInto builds the compacted sub-matrix of a over a local node
+// universe: out becomes an m×m CSR whose row toLocal[r], for each r in rows,
+// holds a's row r with every column index c remapped to toLocal[c]; rows of
+// out not named by `rows` are empty. rows must be sorted ascending and
+// toLocal must be a monotone partial map (as produced by graph.IndexSet over
+// a sorted universe) that covers every selected row and every neighbor of a
+// selected row — an unmapped neighbor panics, since it means the universe is
+// not neighbor-closed over rows. out's slices are reused and grown
+// geometrically, so serving paths can extract one sub-CSR per batch with no
+// steady-state allocation.
+func (a *CSR) ExtractRowsInto(rows []int, toLocal []int32, m int, out *CSR) {
+	out.Rows, out.Cols = m, m
+	if cap(out.RowPtr) < m+1 {
+		out.RowPtr = make([]int, m+1, GrownCap(cap(out.RowPtr), m+1))
+	}
+	out.RowPtr = out.RowPtr[:m+1]
+	nnz := a.NNZRows(rows)
+	if cap(out.Col) < nnz {
+		c := GrownCap(cap(out.Col), nnz)
+		out.Col = make([]int, nnz, c)
+		out.Val = make([]float64, nnz, c)
+	}
+	out.Col = out.Col[:nnz]
+	out.Val = out.Val[:nnz]
+	ptr, next := 0, 0 // next: first local row without a RowPtr entry yet
+	for _, r := range rows {
+		lr := int(toLocal[r])
+		if lr < next || lr >= m {
+			panic(fmt.Sprintf("sparse: ExtractRowsInto row %d maps to %d outside [%d,%d)", r, lr, next, m))
+		}
+		for ; next <= lr; next++ {
+			out.RowPtr[next] = ptr
+		}
+		cols := a.RowIndices(r)
+		vals := a.RowValues(r)
+		for k, c := range cols {
+			lc := toLocal[c]
+			if lc < 0 {
+				panic(fmt.Sprintf("sparse: ExtractRowsInto neighbor %d of row %d outside the universe", c, r))
+			}
+			out.Col[ptr] = int(lc)
+			out.Val[ptr] = vals[k]
+			ptr++
+		}
+	}
+	for ; next <= m; next++ {
+		out.RowPtr[next] = ptr
+	}
+}
+
+// GrownCap grows old geometrically to cover need, bounding reallocation
+// churn when per-batch extents creep upward across pool hits. Shared by the
+// pooled-scratch consumers of this package's extraction kernels.
+func GrownCap(old, need int) int {
+	if c := 2 * old; c > need {
+		return c
+	}
+	return need
+}
+
 func (a *CSR) mulRowInto(dst []float64, i int, x *mat.Matrix) {
 	cols := a.RowIndices(i)
 	vals := a.RowValues(i)

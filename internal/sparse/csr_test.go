@@ -344,3 +344,186 @@ func TestEmptyGraph(t *testing.T) {
 		t.Fatal("identity propagation on empty graph failed")
 	}
 }
+
+func TestMulDenseRowsCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randomGraph(30, 0.15, rng)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	x := mat.Randn(30, 6, 1, rng)
+	full := na.MulDense(x)
+	rows := []int{2, 5, 9, 17, 28}
+	out := mat.New(len(rows), 6)
+	out.Fill(-999) // stale contents must be overwritten
+	macs := na.MulDenseRowsCompact(rows, x, out)
+	if want := na.NNZRows(rows) * 6; macs != want {
+		t.Fatalf("MACs = %d want %d", macs, want)
+	}
+	for k, r := range rows {
+		for j := 0; j < 6; j++ {
+			if out.At(k, j) != full.At(r, j) {
+				t.Fatalf("compact row %d (global %d) col %d: %v != %v",
+					k, r, j, out.At(k, j), full.At(r, j))
+			}
+		}
+	}
+}
+
+func TestMulDenseRowsCompactParallelMatchesFull(t *testing.T) {
+	// Large enough that the nnz-balanced fan-out engages on multi-core
+	// machines; compact output row k must equal full-product row rows[k].
+	rng := rand.New(rand.NewSource(22))
+	n, f := 400, 32
+	a := randomGraph(n, 0.05, rng)
+	na := NormalizedAdjacency(a, GammaSymmetric)
+	x := mat.Randn(n, f, 1, rng)
+	full := na.MulDense(x)
+	var rows []int
+	for i := 1; i < n; i += 3 {
+		rows = append(rows, i)
+	}
+	out := mat.New(len(rows), f)
+	na.MulDenseRowsCompact(rows, x, out)
+	for k, r := range rows {
+		for j := 0; j < f; j++ {
+			if out.At(k, j) != full.At(r, j) {
+				t.Fatalf("row %d col %d: %v != %v", r, j, out.At(k, j), full.At(r, j))
+			}
+		}
+	}
+}
+
+// extractIndex builds the monotone global→local map of a sorted universe.
+func extractIndex(n int, universe []int) []int32 {
+	toLocal := make([]int32, n)
+	for i := range toLocal {
+		toLocal[i] = -1
+	}
+	for i, v := range universe {
+		toLocal[v] = int32(i)
+	}
+	return toLocal
+}
+
+func TestExtractRowsInto(t *testing.T) {
+	// Path 0-1-2-3-4 (+ self-loops via normalization). Universe {1,2,3,4};
+	// extract rows {2,3}: their neighbors {1,2,3,4} all lie inside.
+	na := NormalizedAdjacency(pathGraph(5), GammaSymmetric)
+	universe := []int{1, 2, 3, 4}
+	toLocal := extractIndex(5, universe)
+	var sub CSR
+	na.ExtractRowsInto([]int{2, 3}, toLocal, len(universe), &sub)
+	if sub.Rows != 4 || sub.Cols != 4 {
+		t.Fatalf("sub shape %dx%d want 4x4", sub.Rows, sub.Cols)
+	}
+	if sub.NNZ() != na.NNZRows([]int{2, 3}) {
+		t.Fatalf("sub NNZ %d want %d", sub.NNZ(), na.NNZRows([]int{2, 3}))
+	}
+	for _, r := range []int{2, 3} {
+		lr := int(toLocal[r])
+		cols, vals := sub.RowIndices(lr), sub.RowValues(lr)
+		wantCols, wantVals := na.RowIndices(r), na.RowValues(r)
+		if len(cols) != len(wantCols) {
+			t.Fatalf("row %d: %d entries want %d", r, len(cols), len(wantCols))
+		}
+		for k := range cols {
+			if universe[cols[k]] != wantCols[k] || vals[k] != wantVals[k] {
+				t.Fatalf("row %d entry %d: (%d,%v) want (%d,%v)",
+					r, k, universe[cols[k]], vals[k], wantCols[k], wantVals[k])
+			}
+		}
+		prev := -1
+		for _, c := range cols {
+			if c <= prev {
+				t.Fatalf("row %d columns not sorted: %v", r, cols)
+			}
+			prev = c
+		}
+	}
+	// Rows outside the extraction set must be empty.
+	for _, lr := range []int{0, 3} {
+		if sub.RowNNZ(lr) != 0 {
+			t.Fatalf("unextracted local row %d has %d entries", lr, sub.RowNNZ(lr))
+		}
+	}
+}
+
+func TestExtractRowsIntoMatchesProduct(t *testing.T) {
+	// A·x restricted to extracted rows must equal the compact product
+	// sub·x_local exactly, for a random graph and a neighbor-closed set.
+	rng := rand.New(rand.NewSource(23))
+	n, f := 60, 7
+	na := NormalizedAdjacency(randomGraph(n, 0.08, rng), GammaSymmetric)
+	// Universe: rows {0..29} plus every neighbor (closure).
+	seen := make(map[int]bool)
+	rows := []int{}
+	for i := 0; i < 30; i++ {
+		rows = append(rows, i)
+		seen[i] = true
+		for _, c := range na.RowIndices(i) {
+			seen[c] = true
+		}
+	}
+	var universe []int
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			universe = append(universe, v)
+		}
+	}
+	toLocal := extractIndex(n, universe)
+	var sub CSR
+	na.ExtractRowsInto(rows, toLocal, len(universe), &sub)
+
+	x := mat.Randn(n, f, 1, rng)
+	xLocal := x.GatherRows(universe)
+	full := na.MulDense(x)
+	out := mat.New(len(universe), f)
+	localRows := make([]int, len(rows))
+	for i, r := range rows {
+		localRows[i] = int(toLocal[r])
+	}
+	macs := sub.MulDenseRows(localRows, xLocal, out)
+	if want := na.NNZRows(rows) * f; macs != want {
+		t.Fatalf("compact MACs = %d want %d (nnz must survive extraction)", macs, want)
+	}
+	for _, r := range rows {
+		for j := 0; j < f; j++ {
+			if out.At(int(toLocal[r]), j) != full.At(r, j) {
+				t.Fatalf("row %d col %d: compact %v != full %v",
+					r, j, out.At(int(toLocal[r]), j), full.At(r, j))
+			}
+		}
+	}
+}
+
+func TestExtractRowsIntoReuse(t *testing.T) {
+	// A second extraction into the same CSR must fully replace the first,
+	// including when the new set is smaller (no stale rows or entries).
+	na := NormalizedAdjacency(pathGraph(6), GammaSymmetric)
+	all := []int{0, 1, 2, 3, 4, 5}
+	toLocal := extractIndex(6, all)
+	var sub CSR
+	na.ExtractRowsInto(all, toLocal, 6, &sub)
+	big := sub.NNZ()
+	na.ExtractRowsInto([]int{2}, toLocal, 6, &sub)
+	if sub.NNZ() != na.RowNNZ(2) {
+		t.Fatalf("reused sub NNZ %d want %d (had %d)", sub.NNZ(), na.RowNNZ(2), big)
+	}
+	for lr := 0; lr < 6; lr++ {
+		if lr != 2 && sub.RowNNZ(lr) != 0 {
+			t.Fatalf("stale row %d after reuse", lr)
+		}
+	}
+}
+
+func TestExtractRowsIntoUnmappedNeighborPanics(t *testing.T) {
+	na := NormalizedAdjacency(pathGraph(4), GammaSymmetric)
+	universe := []int{1, 2} // neighbor 0 of row 1 is outside
+	toLocal := extractIndex(4, universe)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped neighbor did not panic")
+		}
+	}()
+	var sub CSR
+	na.ExtractRowsInto([]int{1}, toLocal, 2, &sub)
+}
