@@ -13,6 +13,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/ppr"
 	"repro/internal/scalable"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/synth"
 )
@@ -105,8 +108,9 @@ func BenchmarkPropagateK4(b *testing.B) {
 	}
 }
 
-// BenchmarkStationaryRank1 vs BenchmarkStationaryDense is the DESIGN.md
-// ablation: the rank-1 identity of Eq. 7 vs the naive O(n²f) path.
+// BenchmarkStationaryRank1 vs BenchmarkStationaryDense is the
+// stationary-state ablation: the rank-1 identity of Eq. 7 vs the naive
+// O(n²f) path (see ARCHITECTURE.md).
 func BenchmarkStationaryRank1(b *testing.B) {
 	ds, _ := benchGraph(b)
 	b.ResetTimer()
@@ -182,7 +186,7 @@ func BenchmarkInferenceNAIGate(b *testing.B) {
 
 // BenchmarkAblationSupportRecompute isolates the engine's supporting-set
 // recomputation: after early-exit waves, shrinking the balls around the
-// remaining targets saves propagation work (DESIGN.md ablation).
+// remaining targets saves propagation work (see ARCHITECTURE.md).
 func BenchmarkAblationSupportRecompute(b *testing.B) {
 	s := trainedSuite(b)
 	targets := s.TestSubset(100)
@@ -392,6 +396,7 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 		baseline.Benchmarks[v.name] = st
 	}
 	baseline.Scratch = measureScratch(b)
+	baseline.Serving = measureServing(b)
 	data, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -463,6 +468,109 @@ func BenchmarkInferCompactMemory(b *testing.B) {
 	g := s.DS.Graph
 	b.ReportMetric(float64(dep.ScratchBytes()), "scratchB/batch")
 	b.ReportMetric(float64(opt.TMax*g.N()*g.F()*8), "denseB/batch")
+}
+
+// servingWorkload is the coalescing scenario: many concurrent clients each
+// asking for one node on the large, dense serving graph.
+func servingWorkload(b *testing.B) (*core.Deployment, []int, core.InferenceOptions) {
+	dep, _, opt, s := scratchWorkload(b)
+	return dep, s.TestSubset(1 << 30), opt // all test nodes, cycled by clients
+}
+
+// runClients drives `clients` goroutines issuing single-node requests
+// round-robin over targets for roughly the given duration and returns the
+// measured requests/second.
+func runClients(clients int, targets []int, d time.Duration, call func(node int) error) (float64, error) {
+	var total atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var n int64
+			for i := c; time.Since(start) < d; i += clients {
+				if err := call(targets[i%len(targets)]); err != nil {
+					firstErr.Store(err)
+					break
+				}
+				n++
+			}
+			total.Add(n)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
+	}
+	return float64(total.Load()) / elapsed.Seconds(), nil
+}
+
+// measureServing runs the coalesced-vs-naive comparison at 64 concurrent
+// clients and returns the stats recorded into BENCH_infer.json (gated ≥1.5×
+// by cmd/benchgate). Naive serving pays the full per-batch pipeline — BFS,
+// sub-CSR extraction, stationary rows, classifier GEMM — once per request;
+// the coalescer pays it once per micro-batch.
+func measureServing(b *testing.B) benchfmt.ServingStats {
+	dep, targets, opt := servingWorkload(b)
+	const clients = 64
+	cfg := serve.Config{Opt: opt, MaxBatch: clients, MaxWait: 2 * time.Millisecond}
+
+	naiveOpt := opt
+	naiveOpt.BatchSize = 0
+	naive := func(v int) error {
+		_, err := dep.Infer([]int{v}, naiveOpt)
+		return err
+	}
+	srv := serve.New(dep, cfg)
+	defer srv.Close()
+	coalesced := func(v int) error {
+		_, _, err := srv.Classify([]int{v})
+		return err
+	}
+
+	const warm, run = 100 * time.Millisecond, 400 * time.Millisecond
+	measure := func(call func(int) error) float64 {
+		if _, err := runClients(clients, targets, warm, call); err != nil {
+			b.Fatal(err)
+		}
+		rps, err := runClients(clients, targets, run, call)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rps
+	}
+	naiveRPS := measure(naive)
+	coalRPS := measure(coalesced)
+
+	st := srv.Stats()
+	return benchfmt.ServingStats{
+		Workload:        "products-like/64-clients-single-node",
+		Clients:         clients,
+		MaxBatch:        cfg.MaxBatch,
+		MaxWaitUs:       cfg.MaxWait.Microseconds(),
+		NaiveReqPerSec:  naiveRPS,
+		CoalReqPerSec:   coalRPS,
+		ThroughputX:     coalRPS / naiveRPS,
+		CoalesceRate:    st.CoalesceRate,
+		AvgBatchTargets: st.AvgBatchTargets,
+	}
+}
+
+// BenchmarkServeCoalesced reports the coalesced-serving comparison as
+// metrics (req/s for both modes and the throughput ratio); the JSON-recorded
+// version feeding the CI gate lives in BenchmarkInferBaselineJSON.
+func BenchmarkServeCoalesced(b *testing.B) {
+	var st benchfmt.ServingStats
+	for i := 0; i < b.N; i++ {
+		st = measureServing(b)
+	}
+	b.ReportMetric(st.NaiveReqPerSec, "naive-req/s")
+	b.ReportMetric(st.CoalReqPerSec, "coalesced-req/s")
+	b.ReportMetric(st.ThroughputX, "speedupX")
+	b.ReportMetric(st.AvgBatchTargets, "targets/batch")
 }
 
 func BenchmarkGateDecision(b *testing.B) {

@@ -4,11 +4,13 @@
 // perf/memory claims in the repository stay measured, not asserted.
 //
 // Only machine-independent numbers gate: B/op of the serial serving
-// benchmark (-gate, tolerance -tol, default 20%) and the compacted-scratch
-// reduction factor (-min-reduction, default 5×). Wall-clock ns/op differs
-// across runner hardware, and the Workers>1 variant's B/op moves with
-// GC-driven sync.Pool flushes under concurrency, so both are reported for
-// information only.
+// benchmark (-gate, tolerance -tol, default 20%), the compacted-scratch
+// reduction factor (-min-reduction, default 5×), and the coalesced-serving
+// throughput ratio (-min-serve-speedup, default 1.5×) — the latter is a
+// same-process, same-hardware ratio, so it ports across runners even though
+// the absolute req/s numbers do not. Wall-clock ns/op differs across runner
+// hardware, and the Workers>1 variant's B/op moves with GC-driven sync.Pool
+// flushes under concurrency, so both are reported for information only.
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ func main() {
 	curPath := flag.String("current", "BENCH_infer.json", "freshly generated BENCH_infer.json")
 	tol := flag.Float64("tol", 0.20, "allowed fractional B/op regression per gated benchmark")
 	minReduction := flag.Float64("min-reduction", 5, "required scratch-vs-dense memory reduction factor")
+	minServeSpeedup := flag.Float64("min-serve-speedup", 1.5, "required coalesced-vs-naive serving throughput ratio")
 	gateList := flag.String("gate", "infer/distance-multibatch",
 		"comma-separated benchmark names whose B/op is gated")
 	flag.Parse()
@@ -90,6 +93,18 @@ func main() {
 	} else if cur.Scratch.ReductionX < *minReduction {
 		fmt.Printf("benchgate: FAIL — scratch reduction %.1fx below required %.1fx\n",
 			cur.Scratch.ReductionX, *minReduction)
+		failed = true
+	}
+
+	sv := cur.Serving
+	fmt.Printf("\nserving %-32s %10.0f naive req/s, %10.0f coalesced req/s (%.2fx, %.1f targets/batch)\n",
+		sv.Workload, sv.NaiveReqPerSec, sv.CoalReqPerSec, sv.ThroughputX, sv.AvgBatchTargets)
+	if sv.NaiveReqPerSec == 0 || sv.CoalReqPerSec == 0 {
+		fmt.Println("benchgate: FAIL — current run recorded no serving measurement")
+		failed = true
+	} else if sv.ThroughputX < *minServeSpeedup {
+		fmt.Printf("benchgate: FAIL — coalesced serving speedup %.2fx below required %.2fx\n",
+			sv.ThroughputX, *minServeSpeedup)
 		failed = true
 	}
 

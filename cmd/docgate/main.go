@@ -1,0 +1,131 @@
+// Command docgate fails (exit 1) when any package in the repository lacks a
+// package-level doc comment, or when an exported top-level declaration in
+// the listed API-surface packages is undocumented. CI runs it in the docs
+// job so the prose contract of ARCHITECTURE.md — every package explains
+// itself — cannot rot as packages are added.
+//
+// Usage:
+//
+//	docgate [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// exportedDocPackages lists the packages whose exported symbols must each
+// carry a doc comment (the library surface other packages build on). The
+// package-comment rule applies to every package regardless.
+var exportedDocPackages = map[string]bool{
+	"internal/sparse": true,
+	"internal/graph":  true,
+	"internal/core":   true,
+	"internal/serve":  true,
+	"internal/mat":    true,
+	"internal/par":    true,
+}
+
+func main() {
+	root := flag.String("root", ".", "module root to scan")
+	flag.Parse()
+
+	dirs := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != *root || name == "testdata" || name == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	fset := token.NewFileSet()
+	for dir, files := range dirs {
+		sort.Strings(files)
+		rel, _ := filepath.Rel(*root, dir)
+		hasDoc := false
+		for _, path := range files {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docgate: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasDoc = true
+			}
+			if exportedDocPackages[filepath.ToSlash(rel)] {
+				missing = append(missing, undocumentedExports(fset, path, f)...)
+			}
+		}
+		if !hasDoc {
+			missing = append(missing, fmt.Sprintf("%s: package has no doc comment", rel))
+		}
+	}
+
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Println("docgate: missing documentation:")
+		for _, m := range missing {
+			fmt.Println("  " + m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docgate: OK (%d packages)\n", len(dirs))
+}
+
+// undocumentedExports lists exported top-level declarations without a doc
+// comment. Only package-level functions and types gate: methods hang off a
+// documented type and const/var blocks usually document the group, so
+// flagging each member would add noise, not coverage.
+func undocumentedExports(fset *token.FileSet, path string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", path, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil || !d.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+					report(ts.Pos(), "type", ts.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,11 +1,16 @@
 // Command naibench regenerates the paper's tables and figures on the
-// synthetic dataset analogs.
+// synthetic dataset analogs and prints them to stdout (the go test
+// benchmarks write the same tables under results/).
 //
 // Usage:
 //
-//	naibench -exp table5            # one experiment
+//	naibench -exp table5           # one experiment
 //	naibench -exp all -quick       # everything, small scale
-//	naibench -list                  # show available experiments
+//	naibench -list                 # show available experiments
+//
+// Flags: -exp (experiment name or "all"), -quick (shrink datasets and
+// training), -seed, -runs (timing repetitions, 0 = config default),
+// -batch (inference batch size, 0 = config default), -list.
 package main
 
 import (

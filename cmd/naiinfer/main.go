@@ -1,12 +1,24 @@
-// Command naiinfer trains an NAI model, then runs batched adaptive
-// inference over the unseen test nodes under a chosen operating point and
-// prints the latency/MAC breakdown plus the depth distribution —
-// Algorithm 1 as a user would deploy it.
+// Command naiinfer trains (or loads, with -load) an NAI model, deploys it
+// against the full serving graph with the cached-state engine, runs batched
+// adaptive inference over the unseen test nodes under a chosen operating
+// point, and prints accuracy, latency, the per-procedure MAC breakdown and
+// the personalized depth distribution — Algorithm 1 as a user would deploy
+// it for a one-shot run. For a long-lived HTTP daemon over the same engine
+// see cmd/naiserve.
+//
+// By default -quick shrinks the dataset and training so a run takes
+// seconds; pass -quick=false for the full-scale configuration.
 //
 // Usage:
 //
 //	naiinfer -dataset arxiv-like -mode distance -ts-quantile 0.3 -tmax 3
 //	naiinfer -dataset arxiv-like -mode gate -tmax 5 -batch 100
+//	naiinfer -load model.json -dataset flickr-like -mode fixed
+//
+// Flags: -dataset (flickr-like, arxiv-like, products-like), -model (sgc,
+// sign, s2gc, gamlp), -mode (fixed, distance, gate), -ts-quantile (T_s as a
+// validation-distance quantile), -tmin/-tmax (depth bounds; -tmax 0 = K),
+// -batch, -seed, -quick, -load (serve a previously trained model JSON).
 package main
 
 import (

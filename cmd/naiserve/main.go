@@ -1,0 +1,175 @@
+// Command naiserve runs the NAI serving daemon: it trains (or loads) a
+// model, deploys it against the serving graph, and exposes the
+// internal/serve HTTP JSON API — coalesced inference over /infer, online
+// graph growth over /nodes and /edges, and observability over /stats and
+// /healthz. See ARCHITECTURE.md for the request path.
+//
+// Usage:
+//
+//	naiserve -dataset flickr-like -mode distance -ts-quantile 0.3 -addr :8080
+//	naiserve -load model.json -graph serving.graph -max-batch 128 -max-wait 1ms
+//
+// Endpoints:
+//
+//	POST /infer   {"nodes":[3,17]}                 → {"preds":[...],"depths":[...]}
+//	POST /nodes   {"features":[[...]],"labels":[0]} → {"first_id":N,"count":1,...}
+//	POST /edges   {"edges":[[0,42]]}                → {"rows_dirtied":2}
+//	GET  /stats, GET /healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/scalable"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", "flickr-like", "synthetic dataset preset to train and serve")
+	model := flag.String("model", "sgc", "base model (sgc, sign, s2gc, gamlp)")
+	load := flag.String("load", "", "load a trained model from this JSON file instead of training")
+	graphFile := flag.String("graph", "", "serve this nai-graph file instead of the synthetic dataset (requires -load)")
+	mode := flag.String("mode", "distance", "NAP mode: fixed, distance, gate")
+	tsQuantile := flag.Float64("ts-quantile", 0.3, "distance threshold as a validation-distance quantile (distance mode)")
+	tmin := flag.Int("tmin", 1, "minimum propagation depth")
+	tmax := flag.Int("tmax", 0, "maximum propagation depth (0 = K)")
+	maxBatch := flag.Int("max-batch", 64, "max targets per coalesced batch")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for batch mates")
+	quick := flag.Bool("quick", true, "shrink dataset and training")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	var (
+		g   *graph.Graph
+		ds  *synth.Dataset
+		m   *core.Model
+		err error
+	)
+	if *load != "" {
+		if m, err = core.LoadModelFile(*load); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded NAI model (K=%d) from %s\n", m.K, *load)
+	}
+	if *graphFile != "" {
+		if m == nil {
+			fail(fmt.Errorf("-graph requires -load (no training split in a graph file)"))
+		}
+		if g, err = graph.ReadGraphFile(*graphFile); err != nil {
+			fail(err)
+		}
+	} else {
+		dcfg, derr := cfg.Dataset(*dataset)
+		if derr != nil {
+			fail(derr)
+		}
+		if ds, err = synth.Generate(dcfg); err != nil {
+			fail(err)
+		}
+		g = ds.Graph
+		if m == nil {
+			opt := cfg.TrainOptions(*model)
+			fmt.Printf("training NAI (%s, K=%d) on %s ...\n", *model, opt.K, dcfg.Name)
+			if m, err = core.Train(g, ds.Split, opt); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	dep, err := core.NewDeployment(m, g)
+	if err != nil {
+		fail(err)
+	}
+
+	// No Workers knob: a coalesced flush is exactly one Algorithm 1 batch
+	// (sharing one supporting ball is the point), and the sparse/dense
+	// kernels inside it already fan out across cores on their own.
+	iopt := core.InferenceOptions{TMin: *tmin, TMax: m.K}
+	if *tmax > 0 {
+		iopt.TMax = *tmax
+	}
+	switch *mode {
+	case "fixed":
+		iopt.Mode = core.ModeFixed
+	case "distance":
+		iopt.Mode = core.ModeDistance
+		if ds != nil {
+			iopt.Ts = tuneThreshold(dep, ds, *tsQuantile)
+			fmt.Printf("tuned T_s = %.4f (validation quantile %.2f)\n", iopt.Ts, *tsQuantile)
+		} else {
+			fail(fmt.Errorf("distance mode needs a validation split to tune T_s; serve a dataset or use -mode fixed/gate"))
+		}
+	case "gate":
+		iopt.Mode = core.ModeGate
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	// Fail fast on a misconfigured operating point (bad depth bounds, gate
+	// mode without trained gates): better a startup error than a healthy-
+	// looking daemon answering every request with 400.
+	if err := iopt.Validate(m); err != nil {
+		fail(err)
+	}
+
+	srv := serve.New(dep, serve.Config{Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait})
+	defer srv.Close()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, max-batch=%d, max-wait=%v)\n",
+		g.N(), g.M(), *addr, *mode, *maxBatch, *maxWait)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fail(err)
+	case <-sig:
+		fmt.Println("\nnaiserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}
+}
+
+// tuneThreshold converts a validation-distance quantile into T_s, matching
+// cmd/naiinfer's tuning.
+func tuneThreshold(dep *core.Deployment, ds *synth.Dataset, q float64) float64 {
+	feats := scalable.Propagate(dep.Adj, ds.Graph.Features, 1)
+	st := dep.Stationary()
+	val := ds.Split.Val
+	d := mat.RowDistances(feats[1].GatherRows(val), st.Rows(val))
+	sort.Float64s(d)
+	if len(d) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(d)-1))
+	return d[idx]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "naiserve:", err)
+	os.Exit(1)
+}

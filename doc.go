@@ -1,8 +1,9 @@
 // Package repro is a from-scratch Go reproduction of "Accelerating
 // Scalable Graph Neural Network Inference with Node-Adaptive Propagation"
-// (ICDE 2024). See README.md for the architecture overview, DESIGN.md for
-// the system inventory and per-experiment index, and EXPERIMENTS.md for
-// paper-vs-measured results.
+// (ICDE 2024). See ARCHITECTURE.md for the end-to-end serving-stack
+// architecture (layering, the life of a request, the concurrency and
+// memory contracts), examples/README.md for runnable walkthroughs, and
+// ROADMAP.md for the system's direction.
 //
 // Serving runs on a concurrent, zero-recompute engine (internal/core):
 // a Deployment is read-only after construction — the normalized adjacency
@@ -20,9 +21,17 @@
 // very large graph. Propagation uses parallel, nnz-balanced sparse kernels
 // (internal/sparse, internal/par). Reported MACs still follow the paper's
 // per-batch accounting (Algorithm 1 recomputes X(∞) per batch), so measured
-// wall-clock and memory improve while MAC tables stay comparable;
-// BENCH_infer.json holds the perf baseline (B/op and the scratch-reduction
-// factor are regression-gated in CI by cmd/benchgate).
+// wall-clock and memory improve while MAC tables stay comparable.
+//
+// On top of the engine sits a long-lived serving daemon (internal/serve,
+// cmd/naiserve): an HTTP JSON front-end that micro-batches concurrent
+// requests into coalesced Infer calls — amortizing the per-batch
+// BFS/extraction/GEMM work across callers — and absorbs online graph
+// growth through POST /nodes and /edges deltas, whose incremental refresh
+// (Deployment.ApplyDelta) touches only changed rows yet stays bit-identical
+// to a full Refresh. BENCH_infer.json holds the perf baseline (B/op, the
+// scratch-reduction factor and the coalesced-serving speedup are
+// regression-gated in CI by cmd/benchgate).
 //
 // The root package only anchors the module; all functionality lives in
 // internal/... packages, the cmd/... binaries and the runnable examples.

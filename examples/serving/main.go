@@ -1,0 +1,148 @@
+// Serving: run the NAI daemon in-process and drive it over HTTP — the
+// cmd/naiserve workflow as a library user would embed it. The example
+// trains a tiny model, starts the internal/serve handler on an ephemeral
+// port, classifies unseen nodes through coalesced /infer calls, grows the
+// graph online with /nodes and /edges (the paper's continuously-arriving
+// unseen nodes), classifies one of the arrivals, and reads /stats.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	// 1. A deployed NAI model (see examples/quickstart for this part).
+	ds, err := synth.Generate(synth.Tiny(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.DefaultTrainOptions()
+	opt.K = 3
+	opt.Hidden = []int{32}
+	m, err := core.Train(ds.Graph, ds.Split, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := core.NewDeployment(m, ds.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The daemon: coalesce concurrent requests for up to 2ms / 32
+	// targets, serve NAP_g (gates need no threshold tuning).
+	srv := serve.New(dep, serve.Config{
+		Opt:      core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K},
+		MaxBatch: 32,
+		MaxWait:  2 * time.Millisecond,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("daemon listening on", base)
+
+	// 3. Concurrent clients: each asks for one unseen node; the coalescer
+	// batches them into shared Infer calls.
+	test := ds.Split.Test[:24]
+	var wg sync.WaitGroup
+	for _, v := range test {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			var out struct {
+				Preds  []int `json:"preds"`
+				Depths []int `json:"depths"`
+			}
+			postJSON(base+"/infer", map[string]any{"nodes": []int{v}}, &out)
+			fmt.Printf("  node %4d → class %d (exited at depth %d)\n", v, out.Preds[0], out.Depths[0])
+		}(v)
+	}
+	wg.Wait()
+
+	// 4. Online graph growth: a new node arrives with its features and two
+	// edges to known neighbors — no retraining, no full refresh.
+	var nodeResp struct {
+		FirstID int `json:"first_id"`
+	}
+	row := make([]float64, ds.Graph.F())
+	copy(row, ds.Graph.Features.Row(test[0])) // an arrival resembling a known node
+	postJSON(base+"/nodes", map[string]any{
+		"features": [][]float64{row},
+		"labels":   []int{0},
+	}, &nodeResp)
+	var edgeResp struct {
+		Dirty int `json:"rows_dirtied"`
+	}
+	postJSON(base+"/edges", map[string]any{
+		"edges": [][2]int{{nodeResp.FirstID, test[0]}, {nodeResp.FirstID, test[1]}},
+	}, &edgeResp)
+	fmt.Printf("appended node %d (+2 edges, %d adjacency rows dirtied)\n",
+		nodeResp.FirstID, edgeResp.Dirty)
+
+	var out struct {
+		Preds  []int `json:"preds"`
+		Depths []int `json:"depths"`
+	}
+	postJSON(base+"/infer", map[string]any{"nodes": []int{nodeResp.FirstID}}, &out)
+	fmt.Printf("new node %d → class %d at depth %d\n", nodeResp.FirstID, out.Preds[0], out.Depths[0])
+
+	// 5. What the daemon observed.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Requests     int64   `json:"requests"`
+		InferCalls   int64   `json:"infer_calls"`
+		CoalesceRate float64 `json:"coalesce_rate"`
+		P50          float64 `json:"latency_p50_us"`
+		Nodes        int     `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d requests in %d Infer calls (%.1fx coalesced), p50 %.0fus, %d nodes\n",
+		stats.Requests, stats.InferCalls, stats.CoalesceRate, stats.P50, stats.Nodes)
+}
+
+// postJSON posts body and decodes the JSON response into out.
+func postJSON(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -17,7 +17,7 @@ import (
 // we use anchor-diffusion position features — the probability that an
 // L-step random walk from the node lands on each of d high-degree anchor
 // nodes — which injects the same kind of topology signal with the same
-// O(deg·d) inference-time aggregation cost (see DESIGN.md §4).
+// O(deg·d) inference-time aggregation cost.
 type NOSMOG struct {
 	Student *nn.MLP
 	// Anchors are global node ids of the training graph's anchor set.

@@ -17,7 +17,7 @@ import (
 
 // Config controls how experiments run. Quick mode shrinks datasets and
 // epoch counts so the whole suite fits in a few minutes (used by the
-// repository's `go test -bench` harness); full mode matches DESIGN.md.
+// repository's `go test -bench` harness); full mode is the paper-scale run.
 type Config struct {
 	Seed      int64
 	Runs      int // timing repetitions, paper uses 3

@@ -21,7 +21,7 @@ func RunTable1(cfg Config, w io.Writer) error {
 	t.AddRow("GAMLP", "O(kmf + Pnf^2)", "O(qmf + Pnf^2 + nf)")
 	fmt.Fprintln(w, t.Render())
 	fmt.Fprintln(w, "note: the paper charges O(n^2 f) for the stationary state; the rank-1")
-	fmt.Fprintln(w, "identity of Eq. 7 reduces it to O(nf) (see DESIGN.md), hence the nf terms.")
+	fmt.Fprintln(w, "identity of Eq. 7 reduces it to O(nf) (see ARCHITECTURE.md), hence the nf terms.")
 	fmt.Fprintln(w)
 
 	// measured cross-check on one dataset: propagation must dominate vanilla
@@ -49,7 +49,7 @@ func RunTable1(cfg Config, w io.Writer) error {
 
 // RunTable2 reproduces Table II: dataset properties.
 func RunTable2(cfg Config, w io.Writer) error {
-	t := metrics.NewTable("Table II — dataset properties (synthetic analogs; see DESIGN.md §4)",
+	t := metrics.NewTable("Table II — dataset properties (synthetic analogs; see internal/synth)",
 		"dataset", "n", "m", "f", "c", "train/val/test")
 	for _, name := range DatasetNames() {
 		dcfg, err := cfg.Dataset(name)

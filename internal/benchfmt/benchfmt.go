@@ -41,6 +41,25 @@ type ScratchStats struct {
 	ReductionX         float64 `json:"reduction_x"`
 }
 
+// ServingStats records the coalesced-serving benchmark: many concurrent
+// single-node clients served either naively (one Infer per request) or
+// through the internal/serve coalescer, which amortizes the per-batch
+// BFS/extraction/GEMM work across callers. ThroughputX = coalesced/naive
+// requests-per-second is the headline number cmd/benchgate gates in CI; the
+// ratio is machine-portable because both sides run on the same hardware in
+// the same process.
+type ServingStats struct {
+	Workload        string  `json:"workload"`
+	Clients         int     `json:"clients"`
+	MaxBatch        int     `json:"max_batch"`
+	MaxWaitUs       int64   `json:"max_wait_us"`
+	NaiveReqPerSec  float64 `json:"naive_req_per_sec"`
+	CoalReqPerSec   float64 `json:"coalesced_req_per_sec"`
+	ThroughputX     float64 `json:"throughput_x"`
+	CoalesceRate    float64 `json:"coalesce_rate"`
+	AvgBatchTargets float64 `json:"avg_batch_targets"`
+}
+
 // File is the full BENCH_infer.json document.
 type File struct {
 	Dataset    string             `json:"dataset"`
@@ -53,6 +72,7 @@ type File struct {
 	MACs       core.MACBreakdown  `json:"infer_macs"`
 	Benchmarks map[string]OpStats `json:"benchmarks"`
 	Scratch    ScratchStats       `json:"scratch"`
+	Serving    ServingStats       `json:"serving"`
 }
 
 // Load reads and parses a BENCH_infer.json file.

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// ApplyDelta appends nodes and/or edges to the serving graph and
+// incrementally refreshes the deployment's cached state: the normalized
+// adjacency and the stationary weighted sum are recomputed only for rows
+// whose neighborhood changed, instead of the O(n·f) + O(nnz) from-scratch
+// work Refresh does. The refreshed state — and therefore every subsequent
+// prediction and MAC count — is bit-identical to calling Refresh() on the
+// merged graph (see TestDeltaEquivalence).
+//
+// Like Refresh, ApplyDelta must not run concurrently with Infer; the
+// internal/serve daemon holds its write lock around it while coalesced
+// inference holds read locks.
+func (d *Deployment) ApplyDelta(delta graph.Delta) (*graph.DeltaResult, error) {
+	dr, err := d.Graph.ApplyDelta(delta)
+	if err != nil {
+		return nil, err
+	}
+	d.RefreshIncremental(dr)
+	return dr, nil
+}
+
+// RefreshIncremental re-derives the cached normalized adjacency and
+// stationary state after the serving graph absorbed a delta, given which
+// rows the delta touched. Dirty rows and their neighbors get fresh values
+// (an edge changes its endpoints' degrees, which scale every incident
+// normalized entry); every other row is carried over bitwise. Callers that
+// mutate the graph through Deployment.ApplyDelta never need this directly.
+func (d *Deployment) RefreshIncremental(dr *graph.DeltaResult) {
+	if len(dr.Dirty) == 0 && dr.NumNew == 0 {
+		return
+	}
+	// Stationary first: it owns the looped-degree vector the adjacency
+	// patch reads its D̃^{γ−1}/D̃^{−γ} factors from.
+	d.stationary.Update(d.Graph.Adj, d.Graph.Features, dr.Dirty)
+
+	// Value-dirty rows of Â: the dirty rows themselves plus every neighbor
+	// of a degree-changed node (all dirty nodes changed degree — an inserted
+	// entry is +1 on both endpoints, and appended nodes are new).
+	adj := d.Graph.Adj
+	n := adj.Rows
+	mark := make([]bool, n)
+	for _, v := range dr.Dirty {
+		mark[v] = true
+	}
+	valDirty := append([]int(nil), dr.Dirty...)
+	for _, v := range dr.Dirty {
+		for _, u := range adj.RowIndices(v) {
+			if !mark[u] {
+				mark[u] = true
+				valDirty = append(valDirty, u)
+			}
+		}
+	}
+	sort.Ints(valDirty)
+	d.Adj = sparse.NormalizedAdjacencyPatch(adj, d.Model.Gamma, d.Adj,
+		d.stationary.LoopedDeg, valDirty)
+}
+
+// Window returns the per-target outputs for targets[lo:hi] of the Infer call
+// that produced r, as (preds, depths) views. The serving coalescer uses it
+// to split one amortized batch back into the per-request answers.
+func (r *Result) Window(lo, hi int) ([]int, []int) {
+	return r.Pred[lo:hi], r.Depths[lo:hi]
+}

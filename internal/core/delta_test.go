@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// carveDelta splits a generated graph into a base graph (the first n−k
+// nodes with their induced edges) and the Delta that re-appends the rest,
+// so applying the delta to the base must reproduce the full graph exactly.
+func carveDelta(t *testing.T, ds *synth.Dataset, k int) (*graph.Graph, graph.Delta) {
+	t.Helper()
+	g := ds.Graph
+	n := g.N()
+	base := make([]int, n-k)
+	for i := range base {
+		base[i] = i
+	}
+	ind := g.Induce(base)
+	var d graph.Delta
+	d.Features = g.Features.GatherRows(rangeInts(n-k, n))
+	d.Labels = append([]int(nil), g.Labels[n-k:]...)
+	for u := n - k; u < n; u++ {
+		for _, v := range g.Adj.RowIndices(u) {
+			if v < u { // each cross/new edge once
+				d.Src = append(d.Src, u)
+				d.Dst = append(d.Dst, v)
+			}
+		}
+	}
+	return ind.Graph, d
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func sameCSR(a, b *sparse.CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Col {
+		if a.Col[k] != b.Col[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// requireSameState asserts two deployments carry bit-identical cached
+// serving state (normalized adjacency + stationary decomposition).
+func requireSameState(t *testing.T, want, got *Deployment) {
+	t.Helper()
+	if !sameCSR(want.Adj, got.Adj) {
+		t.Fatal("normalized adjacency differs from full Refresh")
+	}
+	sw, sg := want.Stationary(), got.Stationary()
+	if sw.Scale != sg.Scale || sw.SumMACs != sg.SumMACs {
+		t.Fatalf("stationary scalars differ: scale %v vs %v, MACs %d vs %d",
+			sw.Scale, sg.Scale, sw.SumMACs, sg.SumMACs)
+	}
+	for c := range sw.WeightedSum {
+		if sw.WeightedSum[c] != sg.WeightedSum[c] {
+			t.Fatalf("weighted sum column %d differs: %v vs %v", c, sw.WeightedSum[c], sg.WeightedSum[c])
+		}
+	}
+	for i := range sw.LoopedDeg {
+		if sw.LoopedDeg[i] != sg.LoopedDeg[i] {
+			t.Fatalf("looped degree of node %d differs", i)
+		}
+	}
+}
+
+// TestDeltaEquivalence is the acceptance check of the incremental-refresh
+// path: appending nodes/edges through ApplyDelta must leave the deployment
+// bit-identical — cached state, predictions, depths and the full MAC
+// breakdown — to a full Refresh on the merged graph, across NAP modes and
+// multi-stage deltas.
+func TestDeltaEquivalence(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+	g := ds.Graph
+
+	for _, stages := range []int{1, 3} {
+		// Full-refresh reference on the merged graph.
+		full, err := NewDeployment(m, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		base, delta := carveDelta(t, ds, 12)
+		inc, err := NewDeployment(m, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Apply the carved delta in one or several stages: first the nodes
+		// with their internal edges split across waves, exercising repeated
+		// incremental refreshes on already-patched state.
+		per := (len(delta.Src) + stages - 1) / stages
+		for s := 0; s < stages; s++ {
+			d := graph.Delta{}
+			if s == 0 {
+				d.Features, d.Labels = delta.Features, delta.Labels
+			}
+			lo, hi := s*per, (s+1)*per
+			if hi > len(delta.Src) {
+				hi = len(delta.Src)
+			}
+			if lo < hi {
+				d.Src, d.Dst = delta.Src[lo:hi], delta.Dst[lo:hi]
+			}
+			if _, err := inc.ApplyDelta(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireSameState(t, full, inc)
+
+		targets := ds.Split.Test
+		for _, opt := range []InferenceOptions{
+			{Mode: ModeFixed, TMin: 1, TMax: m.K, BatchSize: 7},
+			{Mode: ModeDistance, Ts: 0.35, TMin: 1, TMax: m.K, BatchSize: 9},
+			{Mode: ModeGate, TMin: 1, TMax: m.K, BatchSize: 11},
+		} {
+			want, err := full.Infer(targets, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := inc.Infer(targets, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want.Pred {
+				if want.Pred[k] != got.Pred[k] || want.Depths[k] != got.Depths[k] {
+					t.Fatalf("stages=%d mode=%v: prediction diverged at target %d", stages, opt.Mode, k)
+				}
+			}
+			if want.MACs != got.MACs {
+				t.Fatalf("stages=%d mode=%v: MACs diverged: %+v vs %+v", stages, opt.Mode, want.MACs, got.MACs)
+			}
+		}
+	}
+}
+
+// TestDeltaEdgeCases covers edge-only and node-only deltas, duplicate and
+// already-present edges, self-loops (dropped), and isolated appended nodes.
+func TestDeltaEdgeCases(t *testing.T) {
+	ds := tinyData(t)
+	m := trainedModel(t)
+
+	t.Run("edge-only", func(t *testing.T) {
+		base, delta := carveDelta(t, ds, 6)
+		inc, _ := NewDeployment(m, base)
+		if _, err := inc.ApplyDelta(graph.Delta{Features: delta.Features, Labels: delta.Labels}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inc.ApplyDelta(graph.Delta{Src: delta.Src, Dst: delta.Dst}); err != nil {
+			t.Fatal(err)
+		}
+		full, _ := NewDeployment(m, ds.Graph)
+		requireSameState(t, full, inc)
+	})
+
+	t.Run("isolated-new-node", func(t *testing.T) {
+		g := cloneGraph(ds.Graph)
+		dep, _ := NewDeployment(m, g)
+		dr, err := dep.ApplyDelta(graph.Delta{
+			Features: mat.Randn(1, g.F(), 1, rand.New(rand.NewSource(3))),
+			Labels:   []int{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr.FirstNew != ds.Graph.N() || dr.NumNew != 1 || len(dr.Dirty) != 1 {
+			t.Fatalf("unexpected delta result %+v", dr)
+		}
+		fresh, _ := NewDeployment(m, g)
+		requireSameState(t, fresh, dep)
+		// The isolated node is classifiable (it only sees itself).
+		res, err := dep.Infer([]int{dr.FirstNew}, InferenceOptions{Mode: ModeDistance, Ts: 0.1, TMin: 1, TMax: m.K})
+		if err != nil || res.NumTargets != 1 {
+			t.Fatalf("isolated-node inference failed: %v", err)
+		}
+	})
+
+	t.Run("duplicate-and-existing-edges", func(t *testing.T) {
+		g := cloneGraph(ds.Graph)
+		dep, _ := NewDeployment(m, g)
+		u := 0
+		for g.Adj.RowNNZ(u) == 0 {
+			u++
+		}
+		v := g.Adj.RowIndices(u)[0] // an existing edge
+		dr, err := dep.ApplyDelta(graph.Delta{Src: []int{u, u, 5}, Dst: []int{v, v, 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dr.Dirty) != 0 {
+			t.Fatalf("existing/self edges marked rows dirty: %v", dr.Dirty)
+		}
+		fresh, _ := NewDeployment(m, g)
+		requireSameState(t, fresh, dep)
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		g := cloneGraph(ds.Graph)
+		dep, _ := NewDeployment(m, g)
+		cases := []graph.Delta{
+			{Features: mat.New(1, g.F()+1), Labels: []int{0}},          // wrong feature dim
+			{Features: mat.New(1, g.F()), Labels: []int{}},             // label count
+			{Features: mat.New(1, g.F()), Labels: []int{g.NumClasses}}, // label range
+			{Src: []int{0}, Dst: []int{g.N() + 5}},                     // endpoint range
+			{Src: []int{0, 1}, Dst: []int{1}},                          // ragged edge lists
+		}
+		for i, d := range cases {
+			if _, err := dep.ApplyDelta(d); err == nil {
+				t.Fatalf("bad delta %d accepted", i)
+			}
+		}
+	})
+}
+
+// cloneGraph deep-copies a graph so in-place deltas don't leak into the
+// shared test fixtures.
+func cloneGraph(g *graph.Graph) *graph.Graph {
+	adj := &sparse.CSR{
+		Rows:   g.Adj.Rows,
+		Cols:   g.Adj.Cols,
+		RowPtr: append([]int(nil), g.Adj.RowPtr...),
+		Col:    append([]int(nil), g.Adj.Col...),
+		Val:    append([]float64(nil), g.Adj.Val...),
+	}
+	ng, err := graph.New(adj, g.Features.Clone(), append([]int(nil), g.Labels...), g.NumClasses)
+	if err != nil {
+		panic(err)
+	}
+	return ng
+}

@@ -94,7 +94,10 @@ func (b MACBreakdown) Total() int {
 // distance/gate procedure.
 func (b MACBreakdown) FeatureProcessing() int { return b.Propagation + b.Decision }
 
-func (b *MACBreakdown) add(o MACBreakdown) {
+// Add accumulates another breakdown field-wise (shared by the engine's
+// batch merge and the serving daemon's /stats totals, so a new procedure
+// counter cannot be summed in one place and dropped in the other).
+func (b *MACBreakdown) Add(o MACBreakdown) {
 	b.Stationary += o.Stationary
 	b.Propagation += o.Propagation
 	b.Decision += o.Decision
@@ -127,7 +130,7 @@ func (r *Result) merge(o *Result) {
 	for l := range o.NodesPerDepth {
 		r.NodesPerDepth[l] += o.NodesPerDepth[l]
 	}
-	r.MACs.add(o.MACs)
+	r.MACs.Add(o.MACs)
 	r.TotalTime += o.TotalTime
 	r.FPTime += o.FPTime
 	r.NumTargets += o.NumTargets

@@ -34,6 +34,55 @@ type Stationary struct {
 	// (n·f), charged once per batch by the inference engine, mirroring
 	// Algorithm 1 line 2 which recomputes X(∞) per batch.
 	SumMACs int
+
+	// blockSums[b*f:(b+1)*f] is the partial weighted sum over the nodes of
+	// block b ([b·B, min((b+1)·B, n)) for B = stationaryBlock). WeightedSum
+	// is always the in-order reduction of these blocks, both on a full
+	// compute and after Update — fixing the summation tree is what makes the
+	// incremental path bit-identical to a from-scratch one, since floating
+	// point addition is not associative.
+	blockSums []float64
+}
+
+// stationaryBlock is the node-block width of the two-level weighted-sum
+// reduction. Incrementally refreshing one node costs O(B + n/B) feature-row
+// additions; B = 256 keeps both terms small across the graph sizes served.
+const stationaryBlock = 256
+
+// accumulateBlock recomputes one block's partial sum from scratch. Full and
+// incremental computes both funnel through here so their per-block rounding
+// is identical.
+func (s *Stationary) accumulateBlock(b int, x *mat.Matrix) {
+	f := x.Cols
+	dst := s.blockSums[b*f : (b+1)*f]
+	for c := range dst {
+		dst[c] = 0
+	}
+	hi := (b + 1) * stationaryBlock
+	if hi > x.Rows {
+		hi = x.Rows
+	}
+	for j := b * stationaryBlock; j < hi; j++ {
+		w := math.Pow(s.LoopedDeg[j], 1-s.Gamma)
+		row := x.Row(j)
+		for c, v := range row {
+			dst[c] += w * v
+		}
+	}
+}
+
+// reduceBlocks recomputes WeightedSum as the in-order sum of the blocks.
+func (s *Stationary) reduceBlocks() {
+	f := len(s.WeightedSum)
+	for c := range s.WeightedSum {
+		s.WeightedSum[c] = 0
+	}
+	for b := 0; b < len(s.blockSums)/f; b++ {
+		src := s.blockSums[b*f : (b+1)*f]
+		for c, v := range src {
+			s.WeightedSum[c] += v
+		}
+	}
 }
 
 // ComputeStationary builds the stationary state for the raw (un-normalized,
@@ -46,21 +95,66 @@ func ComputeStationary(adj *sparse.CSR, x *mat.Matrix, gamma float64) *Stationar
 	looped := sparse.LoopedDegrees(adj)
 	// 2m + n = total looped degree mass
 	denom := float64(adj.NNZ() + n)
+	nb := (n + stationaryBlock - 1) / stationaryBlock
 	s := &Stationary{
 		Gamma:       gamma,
 		Scale:       1 / denom,
 		WeightedSum: make([]float64, x.Cols),
 		LoopedDeg:   looped,
 		SumMACs:     n * x.Cols,
+		blockSums:   make([]float64, nb*x.Cols),
 	}
-	for j := 0; j < n; j++ {
-		w := math.Pow(looped[j], 1-gamma)
-		row := x.Row(j)
-		for c, v := range row {
-			s.WeightedSum[c] += w * v
+	for b := 0; b < nb; b++ {
+		s.accumulateBlock(b, x)
+	}
+	s.reduceBlocks()
+	return s
+}
+
+// Update incrementally refreshes the stationary state after the serving
+// graph gained nodes and/or edges: adj and x are the post-delta adjacency
+// and features, and dirty lists (sorted, deduplicated) every node whose
+// looped degree changed plus every appended node. Only the blocks containing
+// dirty nodes are re-accumulated and the total is re-reduced from the block
+// sums, so the cost is O((|dirty| + B + n/B)·f) instead of the full O(n·f) —
+// while the result stays bit-identical to ComputeStationary(adj, x, s.Gamma)
+// because both paths share the same fixed two-level summation.
+func (s *Stationary) Update(adj *sparse.CSR, x *mat.Matrix, dirty []int) {
+	if adj.Rows != x.Rows {
+		panic(fmt.Sprintf("core: %d adjacency rows for %d feature rows", adj.Rows, x.Rows))
+	}
+	n, f := adj.Rows, x.Cols
+	if n < len(s.LoopedDeg) {
+		panic(fmt.Sprintf("core: Update shrinks %d nodes to %d", len(s.LoopedDeg), n))
+	}
+	for i := len(s.LoopedDeg); i < n; i++ {
+		s.LoopedDeg = append(s.LoopedDeg, 0) // recomputed below: appended nodes are dirty
+	}
+	for _, j := range dirty {
+		// Same arithmetic as sparse.LoopedDegrees: the in-order value sum
+		// plus one (exact for binary adjacencies).
+		var d float64
+		for _, v := range adj.RowValues(j) {
+			d += v
+		}
+		s.LoopedDeg[j] = d + 1
+	}
+	s.Scale = 1 / float64(adj.NNZ()+n)
+	s.SumMACs = n * f
+
+	nb := (n + stationaryBlock - 1) / stationaryBlock
+	for len(s.blockSums) < nb*f {
+		s.blockSums = append(s.blockSums, 0)
+	}
+	s.blockSums = s.blockSums[:nb*f]
+	lastBlock := -1
+	for _, j := range dirty {
+		if b := j / stationaryBlock; b != lastBlock {
+			s.accumulateBlock(b, x)
+			lastBlock = b
 		}
 	}
-	return s
+	s.reduceBlocks()
 }
 
 // Row writes X(∞)_i into dst (length f) and returns dst.

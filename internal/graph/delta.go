@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Delta is an online mutation of a serving graph: nodes appended at the end
+// of the id space plus undirected edges among old and new nodes. It is the
+// wire-level unit internal/serve's POST /nodes and POST /edges endpoints
+// translate into, and the input of the deployment's incremental refresh.
+type Delta struct {
+	// Features holds one row per appended node (nil or 0×f appends none).
+	// New nodes receive ids N, N+1, ... in row order, where N is the
+	// pre-delta node count.
+	Features *mat.Matrix
+	// Labels holds one class id per appended node. Serving-time arrivals
+	// whose label is unknown use 0; labels only feed evaluation, never
+	// inference.
+	Labels []int
+	// Src/Dst list undirected edges; endpoints may name old nodes or new
+	// nodes (ids ≥ N). Self-loops and edges already present are dropped,
+	// mirroring sparse.FromEdges.
+	Src, Dst []int
+}
+
+// DeltaResult reports what ApplyDelta changed, in the shape the incremental
+// refresh paths consume.
+type DeltaResult struct {
+	// FirstNew is the id of the first appended node (the pre-delta N);
+	// appended ids are FirstNew..FirstNew+NumNew-1.
+	FirstNew, NumNew int
+	// Dirty lists, sorted ascending, every node whose adjacency row or
+	// degree changed: endpoints of inserted edges plus every appended node.
+	Dirty []int
+}
+
+// ApplyDelta validates and applies d to the graph in place: features and
+// labels are appended (amortized growth, no full-matrix copy) and the
+// adjacency is rebuilt with the new edges merged in. It returns which rows
+// changed so cached derived state (normalized adjacency, stationary sums)
+// can be refreshed incrementally. The caller owns the concurrency contract:
+// like Deployment.Refresh, ApplyDelta must not run concurrently with
+// readers of the graph.
+func (g *Graph) ApplyDelta(d Delta) (*DeltaResult, error) {
+	n := g.N()
+	k := 0
+	if d.Features != nil {
+		k = d.Features.Rows
+	}
+	if k > 0 && d.Features.Cols != g.F() {
+		return nil, fmt.Errorf("graph: delta feature dim %d != graph %d", d.Features.Cols, g.F())
+	}
+	if len(d.Labels) != k {
+		return nil, fmt.Errorf("graph: %d delta labels for %d new nodes", len(d.Labels), k)
+	}
+	for i, y := range d.Labels {
+		if y < 0 || y >= g.NumClasses {
+			return nil, fmt.Errorf("graph: delta label %d of new node %d outside [0,%d)", y, i, g.NumClasses)
+		}
+	}
+	if len(d.Src) != len(d.Dst) {
+		return nil, fmt.Errorf("graph: %d delta sources for %d destinations", len(d.Src), len(d.Dst))
+	}
+	for i := range d.Src {
+		if u, v := d.Src[i], d.Dst[i]; u < 0 || u >= n+k || v < 0 || v >= n+k {
+			return nil, fmt.Errorf("graph: delta edge (%d,%d) outside [0,%d)", u, v, n+k)
+		}
+	}
+
+	adj, dirtyRows := g.Adj.AppendEdges(n+k, d.Src, d.Dst)
+	g.Adj = adj
+	if k > 0 {
+		g.Features.AppendRows(d.Features)
+		g.Labels = append(g.Labels, d.Labels...)
+	}
+
+	// Dirty = edge-dirty rows ∪ all appended nodes. dirtyRows is sorted and
+	// new-node ids all sit above the old range, so a split-merge keeps order.
+	res := &DeltaResult{FirstNew: n, NumNew: k}
+	res.Dirty = make([]int, 0, len(dirtyRows)+k)
+	i := 0
+	for ; i < len(dirtyRows) && dirtyRows[i] < n; i++ {
+		res.Dirty = append(res.Dirty, dirtyRows[i])
+	}
+	for v := n; v < n+k; v++ {
+		res.Dirty = append(res.Dirty, v)
+	}
+	return res, nil
+}

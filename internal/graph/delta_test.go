@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// TestApplyDeltaMatchesFromScratch: applying a delta must produce exactly
+// the graph FromEdges builds from the union edge set, including dedupe and
+// self-loop semantics, with the dirty-row report matching the rows whose
+// degree actually changed.
+func TestApplyDeltaMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, f := 30, 4
+	src := []int{0, 1, 2, 5, 9, 9}
+	dst := []int{1, 2, 3, 6, 10, 11}
+	adj := sparse.FromEdges(n, src, dst, true)
+	g, err := New(adj, mat.Randn(n, f, 1, rng), make([]int, n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := 3
+	d := Delta{
+		Features: mat.Randn(k, f, 1, rng),
+		Labels:   []int{1, 0, 1},
+		// new-new, new-old, old-old, a duplicate, an existing edge and a
+		// self-loop: the last three must not dirty anything.
+		Src: []int{n, n + 1, 4, n, 0, 7},
+		Dst: []int{n + 2, 3, 8, n + 2, 1, 7},
+	}
+	dr, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.FirstNew != n || dr.NumNew != k {
+		t.Fatalf("bad id range %+v", dr)
+	}
+	wantDirty := []int{3, 4, 8, n, n + 1, n + 2}
+	if len(dr.Dirty) != len(wantDirty) {
+		t.Fatalf("dirty %v, want %v", dr.Dirty, wantDirty)
+	}
+	for i, v := range wantDirty {
+		if dr.Dirty[i] != v {
+			t.Fatalf("dirty %v, want %v", dr.Dirty, wantDirty)
+		}
+	}
+
+	refAdj := sparse.FromEdges(n+k,
+		append(append([]int(nil), src...), d.Src...),
+		append(append([]int(nil), dst...), d.Dst...), true)
+	if !mat.Equal(g.Adj.ToDense(), refAdj.ToDense()) {
+		t.Fatal("delta adjacency differs from a from-scratch build")
+	}
+	if g.N() != n+k || g.Labels[n+1] != 0 {
+		t.Fatal("labels/features not appended")
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < f; j++ {
+			if g.Features.At(n+i, j) != d.Features.At(i, j) {
+				t.Fatal("appended features differ")
+			}
+		}
+	}
+}
+
+// TestAppendEdgesPreservesBase: the base matrix must be left untouched and
+// the new matrix must share no storage with it.
+func TestAppendEdgesPreservesBase(t *testing.T) {
+	adj := sparse.FromEdges(4, []int{0, 1}, []int{1, 2}, true)
+	before := adj.ToDense().Clone()
+	grown, dirty := adj.AppendEdges(6, []int{2, 4}, []int{3, 5})
+	if !mat.Equal(adj.ToDense(), before) {
+		t.Fatal("AppendEdges mutated the base matrix")
+	}
+	if grown.Rows != 6 || grown.At(2, 3) != 1 || grown.At(3, 2) != 1 || grown.At(4, 5) != 1 {
+		t.Fatal("edges not appended")
+	}
+	want := []int{2, 3, 4, 5}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty %v, want %v", dirty, want)
+	}
+	for i, v := range want {
+		if dirty[i] != v {
+			t.Fatalf("dirty %v, want %v", dirty, want)
+		}
+	}
+}

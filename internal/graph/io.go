@@ -59,7 +59,11 @@ func WriteGraphFile(path string, g *Graph) error {
 	return f.Close()
 }
 
-// ReadGraph parses the text format.
+// ReadGraph parses the text format strictly: truncated files (fewer node
+// lines than the header's n), out-of-range node ids or labels, self-loops
+// and duplicate edge lines are all errors — WriteGraph emits none of them,
+// so any occurrence signals a corrupt file that silent deduplication would
+// mask.
 func ReadGraph(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -143,6 +147,14 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 			if u < 0 || u >= n || v < 0 || v >= n {
 				return nil, fmt.Errorf("graph: line %d: edge (%d,%d) outside [0,%d)", lineNo, u, v, n)
 			}
+			// Self-loops are parse errors, not silent drops: WriteGraph
+			// never emits them, so one means a corrupt or hand-mangled
+			// file. (Duplicate edge lines are detected after parsing, by
+			// comparing the line count against the deduplicated adjacency —
+			// no per-edge hashing on the large-graph load path.)
+			if u == v {
+				return nil, fmt.Errorf("graph: line %d: self-loop on node %d", lineNo, u)
+			}
 			src = append(src, u)
 			dst = append(dst, v)
 		default:
@@ -159,6 +171,14 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: %d node lines for n=%d", nodeCount, n)
 	}
 	adj := sparse.FromEdges(n, src, dst, true)
+	// FromEdges stores each unordered pair once per direction and drops
+	// duplicates; self-loops were already rejected above, so any shortfall
+	// against the edge-line count is a duplicate line (in either
+	// orientation) — a corrupt file, like the other strict checks.
+	if stored := adj.NNZ() / 2; stored != len(src) {
+		return nil, fmt.Errorf("graph: %d duplicate edge lines (%d lines, %d distinct edges)",
+			len(src)-stored, len(src), stored)
+	}
 	return New(adj, features, labels, classes)
 }
 

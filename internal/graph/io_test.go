@@ -83,11 +83,49 @@ func TestReadGraphErrors(t *testing.T) {
 		"unknown record":    "graph 1 1 2\nnode 0 1\nblob 1\n",
 		"label range":       "graph 1 1 2\nnode 7 1\n",
 		"duplicate header":  "graph 1 1 2\ngraph 1 1 2\nnode 0 1\n",
+		"self-loop":         "graph 2 1 2\nnode 0 1\nnode 1 1\nedge 1 1\n",
+		"duplicate edge":    "graph 2 1 2\nnode 0 1\nnode 1 1\nedge 0 1\nedge 0 1\n",
+		"reversed dup edge": "graph 3 1 2\nnode 0 1\nnode 1 1\nnode 0 1\nedge 0 1\nedge 1 0\n",
+		"negative edge":     "graph 2 1 2\nnode 0 1\nnode 1 1\nedge -1 0\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
 			t.Fatalf("%s: accepted", name)
 		}
+	}
+}
+
+// TestReadGraphTruncated cuts a serialized graph at every record boundary
+// and in the middle of a line: every truncation that loses a node line must
+// be rejected (edge lines are optional, so cuts past the last node line can
+// still parse).
+func TestReadGraphTruncated(t *testing.T) {
+	g := lineGraph(t, 6, 2)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(full, "\n")
+	nodeLines := 0
+	prefix := ""
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "node ") {
+			nodeLines++
+		}
+		if nodeLines < g.N() && ln != "" {
+			// Cut after this complete line, and once more mid-line.
+			for _, cut := range []string{prefix + ln, prefix + ln[:len(ln)/2]} {
+				if _, err := ReadGraph(strings.NewReader(cut)); err == nil {
+					t.Fatalf("accepted truncation at %d bytes (%d/%d node lines)",
+						len(cut), nodeLines, g.N())
+				}
+			}
+		}
+		prefix += ln
+	}
+	if _, err := ReadGraph(strings.NewReader(full)); err != nil {
+		t.Fatalf("full file rejected: %v", err)
 	}
 }
 

@@ -182,6 +182,18 @@ func ConcatRows(a, b *Matrix) *Matrix {
 	return out
 }
 
+// AppendRows grows m in place by src's rows (copied), using the built-in
+// append so repeated small appends — e.g. serving-graph node deltas — cost
+// amortized O(rows added), not a full-matrix copy each time. Row views taken
+// before the call may be left pointing at the old backing array.
+func (m *Matrix) AppendRows(src *Matrix) {
+	if src.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: AppendRows cols %d != %d", src.Cols, m.Cols))
+	}
+	m.Data = append(m.Data, src.Data...)
+	m.Rows += src.Rows
+}
+
 // SliceCols returns a copy of columns [lo, hi).
 func (m *Matrix) SliceCols(lo, hi int) *Matrix {
 	if lo < 0 || hi > m.Cols || lo > hi {

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// pending is one caller's share of a coalescing window.
+type pending struct {
+	targets []int
+	lo      int // offset of this request's targets in the flushed batch
+	res     *core.Result
+	err     error
+	done    chan struct{}
+}
+
+// coalescer micro-batches concurrent Classify calls: requests join the open
+// window until it holds MaxBatch targets (flush now) or MaxWait elapses
+// since the window opened (timer flush). Flushes run in the goroutine that
+// closed the window — while one batch infers, the next window fills.
+type coalescer struct {
+	srv *Server
+
+	// graphMu is the serving read/write lock: coalesced Infer calls hold it
+	// shared, graph deltas hold it exclusive (the access Refresh needs).
+	graphMu sync.RWMutex
+
+	mu     sync.Mutex // guards the open window below
+	queue  []*pending
+	count  int // total targets queued
+	gen    int // window generation, invalidates stale timers
+	timer  *time.Timer
+	closed bool
+}
+
+func newCoalescer(s *Server) *coalescer { return &coalescer{srv: s} }
+
+// submit queues one request, flushes if the window filled (or coalescing is
+// disabled), and blocks until the request's batch has been served.
+func (c *coalescer) submit(targets []int) *pending {
+	p := &pending{targets: targets, done: make(chan struct{})}
+	c.mu.Lock()
+	c.queue = append(c.queue, p)
+	c.count += len(targets)
+	if c.count >= c.srv.cfg.MaxBatch || c.srv.cfg.MaxWait <= 0 || c.closed {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.flush(batch)
+	} else {
+		if len(c.queue) == 1 {
+			// First request of a fresh window arms the deadline.
+			gen := c.gen
+			c.timer = time.AfterFunc(c.srv.cfg.MaxWait, func() { c.timerFlush(gen) })
+		}
+		c.mu.Unlock()
+	}
+	<-p.done
+	return p
+}
+
+// takeLocked closes the open window and returns it; callers hold c.mu.
+func (c *coalescer) takeLocked() []*pending {
+	batch := c.queue
+	c.queue = nil
+	c.count = 0
+	c.gen++
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// timerFlush fires when a window hits MaxWait; a generation mismatch means
+// the window already flushed on size and the timer lost the race.
+func (c *coalescer) timerFlush(gen int) {
+	c.mu.Lock()
+	if gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.flush(batch)
+}
+
+// flush serves one closed window as a single Infer batch and hands each
+// caller its span of the shared result.
+func (c *coalescer) flush(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	total := 0
+	for _, p := range batch {
+		p.lo = total
+		total += len(p.targets)
+	}
+	all := make([]int, 0, total)
+	for _, p := range batch {
+		all = append(all, p.targets...)
+	}
+
+	opt := c.srv.cfg.Opt
+	opt.BatchSize = 0 // one shared supporting ball is the whole point
+
+	c.graphMu.RLock()
+	res, err := c.srv.dep.Infer(all, opt)
+	c.graphMu.RUnlock()
+
+	for _, p := range batch {
+		p.res, p.err = res, err
+		close(p.done)
+	}
+	if err == nil {
+		c.srv.stats.countFlush(len(batch), total, res)
+	}
+}
+
+// close flushes the open window so no caller is left parked on a timer.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	c.closed = true
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.flush(batch)
+}

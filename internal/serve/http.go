@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+)
+
+// The wire types of the JSON API. Every error response is
+// {"error": "..."} with a 4xx status; handlers are method-strict.
+
+// InferRequest asks for predictions on existing node ids.
+type InferRequest struct {
+	Nodes []int `json:"nodes"`
+}
+
+// InferResponse carries per-node predictions and the personalized
+// propagation depth each node exited at, aligned with the request order.
+type InferResponse struct {
+	Preds  []int `json:"preds"`
+	Depths []int `json:"depths"`
+}
+
+// NodesRequest appends unseen nodes: one feature row per node, one label
+// per node (labels may be zero for unlabeled arrivals; they only feed
+// offline evaluation). Optional edges connect the new nodes immediately —
+// new ids start at the response's FirstID, known to the caller in advance
+// as the current /healthz node count.
+type NodesRequest struct {
+	Features [][]float64 `json:"features"`
+	Labels   []int       `json:"labels,omitempty"`
+	Edges    [][2]int    `json:"edges,omitempty"`
+}
+
+// NodesResponse reports the id range assigned to the appended nodes.
+type NodesResponse struct {
+	FirstID int `json:"first_id"`
+	Count   int `json:"count"`
+	Dirty   int `json:"rows_dirtied"`
+}
+
+// EdgesRequest appends undirected edges between existing nodes.
+type EdgesRequest struct {
+	Edges [][2]int `json:"edges"`
+}
+
+// EdgesResponse reports how many adjacency rows the edges actually changed
+// (duplicates of existing edges and self-loops are dropped).
+type EdgesResponse struct {
+	Dirty int `json:"rows_dirtied"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	OK    bool `json:"ok"`
+	Nodes int  `json:"nodes"`
+	Edges int  `json:"edges"`
+}
+
+// Handler returns the daemon's HTTP mux:
+//
+//	POST /infer   — classify existing nodes (coalesced with other callers)
+//	POST /nodes   — append unseen nodes (+ optional incident edges)
+//	POST /edges   — append edges between existing nodes
+//	GET  /stats   — counters, latency percentiles, coalescing efficiency
+//	GET  /healthz — liveness + graph size
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/nodes", s.handleNodes)
+	mux.HandleFunc("/edges", s.handleEdges)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodePost enforces POST and parses the body into v.
+func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if len(req.Nodes) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty node list"))
+		return
+	}
+	preds, depths, err := s.Classify(req.Nodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InferResponse{Preds: preds, Depths: depths})
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	var req NodesRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if len(req.Features) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no feature rows"))
+		return
+	}
+	f := len(req.Features[0])
+	feats := mat.New(len(req.Features), f)
+	for i, row := range req.Features {
+		if len(row) != f {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("feature row %d has %d values, row 0 has %d", i, len(row), f))
+			return
+		}
+		copy(feats.Row(i), row)
+	}
+	labels := req.Labels
+	if labels == nil {
+		labels = make([]int, len(req.Features))
+	}
+	d := graph.Delta{Features: feats, Labels: labels}
+	for _, e := range req.Edges {
+		d.Src = append(d.Src, e[0])
+		d.Dst = append(d.Dst, e[1])
+	}
+	dr, err := s.ApplyDelta(d)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NodesResponse{FirstID: dr.FirstNew, Count: dr.NumNew, Dirty: len(dr.Dirty)})
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req EdgesRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty edge list"))
+		return
+	}
+	var d graph.Delta
+	for _, e := range req.Edges {
+		d.Src = append(d.Src, e[0])
+		d.Dst = append(d.Dst, e[1])
+	}
+	dr, err := s.ApplyDelta(d)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EdgesResponse{Dirty: len(dr.Dirty)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.co.graphMu.RLock()
+	n, m := s.dep.Graph.N(), s.dep.Graph.M()
+	s.co.graphMu.RUnlock()
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Nodes: n, Edges: m})
+}

@@ -1,0 +1,145 @@
+// Package serve turns a core.Deployment into a long-lived serving daemon:
+// an HTTP JSON front-end with request coalescing and online graph deltas.
+//
+// Three mechanisms make the daemon production-shaped (see ARCHITECTURE.md
+// for the end-to-end picture):
+//
+//   - Coalescing: concurrent single-node requests are micro-batched into one
+//     Infer call (up to Config.MaxBatch targets, waiting at most
+//     Config.MaxWait for batch mates), so the per-batch costs Algorithm 1
+//     pays — the supporting-set BFS, the sub-CSR extraction, the stationary
+//     rows and the classifier GEMMs — are amortized across callers instead
+//     of being re-paid per request.
+//
+//   - Graph deltas: POST /nodes and POST /edges append unseen nodes and
+//     fresh edges into the serving graph while the daemon runs. Deltas take
+//     the server's write lock and go through Deployment.ApplyDelta, whose
+//     incremental refresh touches only the rows whose neighborhoods changed
+//     and stays bit-identical to a full Refresh.
+//
+//   - Observability: /stats reports request/latency percentiles, MAC
+//     totals, retained scratch bytes and the measured coalescing
+//     efficiency; /healthz is a cheap liveness probe.
+//
+// Concurrency contract: inference (coalesced flushes) runs under the read
+// lock — any number in flight, matching Deployment.Infer's thread safety —
+// while graph deltas hold the write lock, giving them the exclusive access
+// Refresh/ApplyDelta require. Everything else (stats, pending queues) has
+// its own internal locks.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Config parametrizes the daemon.
+type Config struct {
+	// Opt is the operating point coalesced batches are inferred with.
+	// BatchSize is ignored: a coalesced batch always runs as one Algorithm 1
+	// batch, since sharing one supporting ball is the point of coalescing.
+	// That also makes Workers moot (it fans out batches, and there is only
+	// one); the parallel kernels inside the batch use all cores regardless.
+	Opt core.InferenceOptions
+	// MaxBatch is the window-flush threshold: a window holding MaxBatch or
+	// more targets flushes immediately instead of waiting out MaxWait.
+	// Requests are never split across flushes, so a single request larger
+	// than MaxBatch still runs as one oversized Infer batch (per-target
+	// results are batch-invariant; only that flush's latency and scratch
+	// ball grow). ≤0 defaults to 64.
+	MaxBatch int
+	// MaxWait bounds how long a request waits for batch mates before the
+	// window flushes anyway. ≤0 flushes every request immediately
+	// (coalescing only what queued while the previous flush ran).
+	MaxWait time.Duration
+	// LatencyWindow is the ring size of retained per-request latencies for
+	// the /stats percentiles. ≤0 defaults to 1024.
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// Server is the serving daemon's state: one deployment, one coalescer, one
+// stats tracker. Create it with New and expose Handler over HTTP, or call
+// Classify/ApplyDelta directly (the benchmarks do, to measure coalescing
+// without HTTP overhead).
+type Server struct {
+	dep   *core.Deployment
+	cfg   Config
+	co    *coalescer
+	stats *tracker
+	start time.Time
+}
+
+// New wraps a deployment. The deployment must not be mutated behind the
+// server's back afterwards — all graph changes go through ApplyDelta.
+func New(dep *core.Deployment, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		dep:   dep,
+		cfg:   cfg,
+		stats: newTracker(cfg.LatencyWindow),
+		start: time.Now(),
+	}
+	s.co = newCoalescer(s)
+	return s
+}
+
+// Classify answers one request for the given target nodes, coalescing it
+// with concurrent requests into a shared Infer batch. It blocks until the
+// batch containing the request flushes and returns the request's own
+// predictions and personalized depths, in target order.
+func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
+	if len(targets) == 0 {
+		return nil, nil, nil
+	}
+	start := time.Now()
+	// Validate ids against the current graph before queueing: Infer indexes
+	// the adjacency directly, so an out-of-range id must be rejected here.
+	// Deltas only append, so an id valid now stays valid at flush time.
+	s.co.graphMu.RLock()
+	n := s.dep.Graph.N()
+	s.co.graphMu.RUnlock()
+	for _, v := range targets {
+		if v < 0 || v >= n {
+			return nil, nil, fmt.Errorf("serve: node %d outside [0,%d)", v, n)
+		}
+	}
+	p := s.co.submit(targets)
+	if p.err != nil {
+		return nil, nil, p.err
+	}
+	preds, depths = p.res.Window(p.lo, p.lo+len(targets))
+	s.stats.observe(time.Since(start))
+	return preds, depths, nil
+}
+
+// ApplyDelta applies a graph mutation under the write lock, waiting for
+// in-flight coalesced batches to drain and blocking new ones, then refreshes
+// the deployment incrementally.
+func (s *Server) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
+	s.co.graphMu.Lock()
+	defer s.co.graphMu.Unlock()
+	dr, err := s.dep.ApplyDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.countDelta(dr)
+	return dr, nil
+}
+
+// Close flushes any pending window and stops its timer. In-flight Classify
+// calls complete; new ones would start a fresh window, so stop producers
+// first.
+func (s *Server) Close() { s.co.close() }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Stats is one /stats snapshot. All counters are totals since the server
+// started; latencies cover the most recent LatencyWindow requests.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Graph shape (after any deltas).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+
+	// Request accounting. CoalesceRate = Requests/InferCalls is the
+	// amortization factor the coalescer achieved; AvgBatchTargets is the
+	// mean number of targets one Infer served.
+	Requests        int64   `json:"requests"`
+	Targets         int64   `json:"targets"`
+	InferCalls      int64   `json:"infer_calls"`
+	CoalesceRate    float64 `json:"coalesce_rate"`
+	AvgBatchTargets float64 `json:"avg_batch_targets"`
+
+	// Graph mutation accounting.
+	Deltas     int64 `json:"deltas"`
+	NodesAdded int64 `json:"nodes_added"`
+	EdgesDirty int64 `json:"rows_dirtied"`
+
+	// MACs accumulated across all coalesced batches (the paper's
+	// accounting: wall-clock no longer pays the stationary term, but the
+	// books keep it comparable — see MACBreakdown).
+	MACs core.MACBreakdown `json:"macs"`
+
+	// Per-request latency percentiles over the recent window, microseconds.
+	LatencyP50us float64 `json:"latency_p50_us"`
+	LatencyP90us float64 `json:"latency_p90_us"`
+	LatencyP99us float64 `json:"latency_p99_us"`
+
+	// ScratchBytes is the retained capacity of one pooled inference
+	// scratch, the per-in-flight-batch memory footprint.
+	ScratchBytes int `json:"scratch_bytes"`
+}
+
+// tracker accumulates the counters behind /stats.
+type tracker struct {
+	mu         sync.Mutex
+	requests   int64
+	targets    int64
+	inferCalls int64
+	deltas     int64
+	nodesAdded int64
+	rowsDirty  int64
+	macs       core.MACBreakdown
+
+	lat  []time.Duration // latency ring
+	next int
+	full bool
+}
+
+func newTracker(window int) *tracker {
+	return &tracker{lat: make([]time.Duration, window)}
+}
+
+func (t *tracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.lat[t.next] = d
+	t.next++
+	if t.next == len(t.lat) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+func (t *tracker) countFlush(requests, targets int, res *core.Result) {
+	t.mu.Lock()
+	t.requests += int64(requests)
+	t.targets += int64(targets)
+	t.inferCalls++
+	t.macs.Add(res.MACs)
+	t.mu.Unlock()
+}
+
+func (t *tracker) countDelta(dr *graph.DeltaResult) {
+	t.mu.Lock()
+	t.deltas++
+	t.nodesAdded += int64(dr.NumNew)
+	t.rowsDirty += int64(len(dr.Dirty))
+	t.mu.Unlock()
+}
+
+// Stats snapshots the tracker plus the deployment-side gauges.
+func (s *Server) Stats() Stats {
+	t := s.stats
+	t.mu.Lock()
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      t.requests,
+		Targets:       t.targets,
+		InferCalls:    t.inferCalls,
+		Deltas:        t.deltas,
+		NodesAdded:    t.nodesAdded,
+		EdgesDirty:    t.rowsDirty,
+		MACs:          t.macs,
+	}
+	window := t.lat[:t.next]
+	if t.full {
+		window = t.lat
+	}
+	lats := append([]time.Duration(nil), window...)
+	t.mu.Unlock()
+
+	if st.InferCalls > 0 {
+		st.CoalesceRate = float64(st.Requests) / float64(st.InferCalls)
+		st.AvgBatchTargets = float64(st.Targets) / float64(st.InferCalls)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(lats)-1))
+			return float64(lats[idx].Nanoseconds()) / 1e3
+		}
+		st.LatencyP50us, st.LatencyP90us, st.LatencyP99us = pct(0.50), pct(0.90), pct(0.99)
+	}
+
+	s.co.graphMu.RLock()
+	st.Nodes = s.dep.Graph.N()
+	st.Edges = s.dep.Graph.M()
+	st.ScratchBytes = s.dep.ScratchBytes()
+	s.co.graphMu.RUnlock()
+	return st
+}

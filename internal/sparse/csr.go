@@ -245,6 +245,13 @@ func (a *CSR) MulDenseRows(rows []int, x, out *mat.Matrix) int {
 // |S|-height buffers rather than full-graph ones. The selected rows are
 // processed in parallel over nnz-balanced chunks; rows must not contain
 // duplicates. out must not alias x.
+//
+// Remap precondition: output row k is whatever rows[k] is, so when the
+// result feeds compacted-coordinate consumers the caller must pass rows in
+// exactly the order the local universe was indexed in — for a
+// graph.IndexSet universe that means the same sorted set, making compact
+// row k the node with local id k. The engine relies on this to read hop-1
+// output through the same toLocal map that ExtractRowsInto's sub-CSR uses.
 func (a *CSR) MulDenseRowsCompact(rows []int, x, out *mat.Matrix) int {
 	if x.Rows != a.Cols {
 		panic(fmt.Sprintf("sparse: MulDenseRowsCompact inner dims %d != %d", a.Cols, x.Rows))
@@ -270,13 +277,17 @@ func (a *CSR) MulDenseRowsCompact(rows []int, x, out *mat.Matrix) int {
 // ExtractRowsInto builds the compacted sub-matrix of a over a local node
 // universe: out becomes an m×m CSR whose row toLocal[r], for each r in rows,
 // holds a's row r with every column index c remapped to toLocal[c]; rows of
-// out not named by `rows` are empty. rows must be sorted ascending and
-// toLocal must be a monotone partial map (as produced by graph.IndexSet over
-// a sorted universe) that covers every selected row and every neighbor of a
-// selected row — an unmapped neighbor panics, since it means the universe is
-// not neighbor-closed over rows. out's slices are reused and grown
-// geometrically, so serving paths can extract one sub-CSR per batch with no
-// steady-state allocation.
+// out not named by `rows` are empty.
+//
+// Remap preconditions (panic where detectable): rows must be sorted
+// ascending, and toLocal must be a monotone partial map into [0,m) — as
+// produced by graph.IndexSet over a sorted universe of size m — that covers
+// every selected row and every neighbor of a selected row. An unmapped
+// neighbor panics, since it means the universe is not neighbor-closed over
+// rows; monotonicity is what keeps the remapped column indices of each row
+// sorted, preserving the CSR invariant without a per-row sort. out's slices
+// are reused and grown geometrically, so serving paths can extract one
+// sub-CSR per batch with no steady-state allocation.
 func (a *CSR) ExtractRowsInto(rows []int, toLocal []int32, m int, out *CSR) {
 	out.Rows, out.Cols = m, m
 	if cap(out.RowPtr) < m+1 {

@@ -1,0 +1,193 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AppendEdges returns a new n×n binary adjacency containing every entry of a
+// (whose dimension may be smaller: rows a.Rows..n-1 start empty) plus the
+// given undirected edges, stored in both directions. Self-loops and edges
+// already present in a are dropped, and duplicates within the delta are
+// deduplicated, mirroring FromEdges semantics — so the result is exactly
+// FromEdges over the union edge set. The second return value lists, sorted
+// ascending, the rows that actually gained entries (their degree changed);
+// appended rows that received no edge are not listed.
+//
+// The returned matrix shares no storage with a. Rebuilding the CSR arrays is
+// an O(nnz) copy, but values are only created for inserted entries — the
+// cost model mirrors NormalizedAdjacencyPatch, which recomputes values only
+// for changed rows.
+func (a *CSR) AppendEdges(n int, src, dst []int) (*CSR, []int) {
+	if a.Rows != a.Cols {
+		panic("sparse: AppendEdges requires a square matrix")
+	}
+	if n < a.Rows {
+		panic(fmt.Sprintf("sparse: AppendEdges shrinks %d rows to %d", a.Rows, n))
+	}
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("sparse: %d sources for %d destinations", len(src), len(dst)))
+	}
+	adds := make(map[int][]int)
+	addEntry := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			panic(fmt.Sprintf("sparse: edge (%d,%d) outside [0,%d)", u, v, n))
+		}
+		if u < a.Rows && a.At(u, v) != 0 {
+			return // already present
+		}
+		adds[u] = append(adds[u], v)
+	}
+	for i := range src {
+		addEntry(src[i], dst[i])
+		addEntry(dst[i], src[i])
+	}
+
+	extra := 0
+	dirty := make([]int, 0, len(adds))
+	for r, cols := range adds {
+		sort.Ints(cols)
+		uniq := cols[:0]
+		for i, c := range cols {
+			if i == 0 || c != cols[i-1] {
+				uniq = append(uniq, c)
+			}
+		}
+		adds[r] = uniq
+		extra += len(uniq)
+		dirty = append(dirty, r)
+	}
+	sort.Ints(dirty)
+
+	out := &CSR{
+		Rows:   n,
+		Cols:   n,
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, a.NNZ()+extra),
+		Val:    make([]float64, a.NNZ()+extra),
+	}
+	ptr := 0
+	for i := 0; i < n; i++ {
+		out.RowPtr[i] = ptr
+		var oldCols []int
+		var oldVals []float64
+		if i < a.Rows {
+			oldCols, oldVals = a.RowIndices(i), a.RowValues(i)
+		}
+		newCols := adds[i]
+		if len(newCols) == 0 {
+			copy(out.Col[ptr:], oldCols)
+			copy(out.Val[ptr:], oldVals)
+			ptr += len(oldCols)
+			continue
+		}
+		// Merge two sorted, disjoint column lists; inserted entries are 1.
+		oi, ni := 0, 0
+		for oi < len(oldCols) || ni < len(newCols) {
+			if ni == len(newCols) || (oi < len(oldCols) && oldCols[oi] < newCols[ni]) {
+				out.Col[ptr] = oldCols[oi]
+				out.Val[ptr] = oldVals[oi]
+				oi++
+			} else {
+				out.Col[ptr] = newCols[ni]
+				out.Val[ptr] = 1
+				ni++
+			}
+			ptr++
+		}
+	}
+	out.RowPtr[n] = ptr
+	return out, dirty
+}
+
+// NormalizedAdjacencyPatch computes Â = D̃^{γ−1} Ã D̃^{−γ} for adj exactly
+// like NormalizedAdjacency, but incrementally: prev must be the
+// normalization of an earlier version of adj, and rows not listed in dirty
+// copy their values from prev instead of recomputing them. The pow/multiply
+// work therefore scales with the dirty rows' entries, not the whole matrix
+// (array rebuilds remain O(nnz) copies). The output is bit-identical to
+// NormalizedAdjacency(adj, gamma) — clean rows are unchanged bitwise by the
+// precondition below, and dirty rows follow the same formula in the same
+// order.
+//
+// Preconditions (panic where detectable): adj is square with no stored
+// diagonal entries; looped[i] = d̃_i = d_i+1 for every node of adj; dirty is
+// sorted ascending and contains every row whose entry set or looped degree
+// differs from prev's version of the graph, and every row adjacent to a node
+// whose looped degree changed (those rows' D̃^{−γ} column factors moved).
+// Rows ≥ prev.Rows are appended nodes and must all be dirty.
+func NormalizedAdjacencyPatch(adj *CSR, gamma float64, prev *CSR, looped []float64, dirty []int) *CSR {
+	if adj.Rows != adj.Cols {
+		panic("sparse: NormalizedAdjacencyPatch requires a square matrix")
+	}
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("sparse: gamma %v outside [0,1]", gamma))
+	}
+	if len(looped) < adj.Rows {
+		panic(fmt.Sprintf("sparse: %d looped degrees for %d nodes", len(looped), adj.Rows))
+	}
+	n := adj.Rows
+	out := &CSR{
+		Rows:   n,
+		Cols:   n,
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, adj.NNZ()+n), // +n: one self-loop per row
+		Val:    make([]float64, adj.NNZ()+n),
+	}
+	ptr, di := 0, 0
+	for i := 0; i < n; i++ {
+		out.RowPtr[i] = ptr
+		isDirty := di < len(dirty) && dirty[di] == i
+		if isDirty {
+			di++
+		}
+		cols := adj.RowIndices(i)
+		vals := adj.RowValues(i)
+		if !isDirty {
+			if i >= prev.Rows {
+				panic(fmt.Sprintf("sparse: appended row %d not marked dirty", i))
+			}
+			pc, pv := prev.RowIndices(i), prev.RowValues(i)
+			if len(pc) != len(cols)+1 {
+				panic(fmt.Sprintf("sparse: clean row %d changed structure (%d entries vs %d+loop)",
+					i, len(pc), len(cols)))
+			}
+			copy(out.Col[ptr:], pc)
+			copy(out.Val[ptr:], pv)
+			ptr += len(pc)
+			continue
+		}
+		// Recompute the row: merge the diagonal into the sorted columns and
+		// apply left[i]·1·right[c], matching NormalizedAdjacency bit for bit
+		// (the looped values are all exactly 1, and x*1.0 == x).
+		li := math.Pow(looped[i], gamma-1)
+		k, placedDiag := 0, false
+		emit := func(c int, v float64) {
+			out.Col[ptr] = c
+			out.Val[ptr] = li * v * math.Pow(looped[c], -gamma)
+			ptr++
+		}
+		for ; k < len(cols); k++ {
+			c := cols[k]
+			if c == i {
+				panic(fmt.Sprintf("sparse: NormalizedAdjacencyPatch input has a self-loop at %d", i))
+			}
+			if c > i && !placedDiag {
+				emit(i, 1)
+				placedDiag = true
+			}
+			emit(c, vals[k])
+		}
+		if !placedDiag {
+			emit(i, 1)
+		}
+	}
+	out.RowPtr[n] = ptr
+	out.Col = out.Col[:ptr]
+	out.Val = out.Val[:ptr]
+	return out
+}

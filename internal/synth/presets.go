@@ -2,8 +2,8 @@ package synth
 
 // The presets mirror the relative scale, density and difficulty ordering of
 // the paper's Table II. Absolute sizes are reduced so every experiment runs
-// on a laptop in seconds; see DESIGN.md §4 for why the substitution
-// preserves the relevant behaviour.
+// on a laptop in seconds; the synth package comment explains why the
+// substitution preserves the relevant behaviour.
 //
 //	paper:  Flickr        n=89k  m=900k  f=500 c=7   (hardest; ~49% ACC)
 //	        Ogbn-arxiv    n=169k m=1.2M  f=128 c=40  (medium; ~69% ACC)
