@@ -5,12 +5,16 @@
 //
 // Only machine-independent numbers gate: B/op of the serial serving
 // benchmark (-gate, tolerance -tol, default 20%), the compacted-scratch
-// reduction factor (-min-reduction, default 5×), and the coalesced-serving
-// throughput ratio (-min-serve-speedup, default 1.5×) — the latter is a
-// same-process, same-hardware ratio, so it ports across runners even though
-// the absolute req/s numbers do not. Wall-clock ns/op differs across runner
-// hardware, and the Workers>1 variant's B/op moves with GC-driven sync.Pool
-// flushes under concurrency, so both are reported for information only.
+// reduction factor (-min-reduction, default 5×), the coalesced-serving
+// throughput ratio (-min-serve-speedup, default 1.5×) and the sharded-
+// serving throughput ratio (-min-shard-speedup, default 1.5×, requires a
+// multi-core runner — the shard fan-out has nothing to run on with one
+// CPU, so pass 0 to skip the gate on serial hosts) — the ratios are
+// same-process, same-hardware numbers, so they port across runners even
+// though the absolute req/s numbers do not. Wall-clock ns/op differs across
+// runner hardware, and the Workers>1 variant's B/op moves with GC-driven
+// sync.Pool flushes under concurrency, so both are reported for
+// information only.
 //
 // Usage:
 //
@@ -33,6 +37,7 @@ func main() {
 	tol := flag.Float64("tol", 0.20, "allowed fractional B/op regression per gated benchmark")
 	minReduction := flag.Float64("min-reduction", 5, "required scratch-vs-dense memory reduction factor")
 	minServeSpeedup := flag.Float64("min-serve-speedup", 1.5, "required coalesced-vs-naive serving throughput ratio")
+	minShardSpeedup := flag.Float64("min-shard-speedup", 1.5, "required sharded-vs-single serving throughput ratio (0 skips, for single-core hosts)")
 	gateList := flag.String("gate", "infer/distance-multibatch",
 		"comma-separated benchmark names whose B/op is gated")
 	flag.Parse()
@@ -106,6 +111,20 @@ func main() {
 		fmt.Printf("benchgate: FAIL — coalesced serving speedup %.2fx below required %.2fx\n",
 			sv.ThroughputX, *minServeSpeedup)
 		failed = true
+	}
+
+	sh := cur.Sharding
+	fmt.Printf("\nsharding %-31s %10.0f p1 req/s, %10.0f sharded req/s (P=%d, %.2fx, halo %.0f%%)\n",
+		sh.Workload, sh.P1ReqPerSec, sh.ShardedReqPerSec, sh.P, sh.SpeedupX, 100*sh.HaloFraction)
+	if *minShardSpeedup > 0 {
+		if sh.P1ReqPerSec == 0 || sh.ShardedReqPerSec == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no sharding measurement")
+			failed = true
+		} else if sh.SpeedupX < *minShardSpeedup {
+			fmt.Printf("benchgate: FAIL — sharded serving speedup %.2fx below required %.2fx\n",
+				sh.SpeedupX, *minShardSpeedup)
+			failed = true
+		}
 	}
 
 	if failed {

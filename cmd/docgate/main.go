@@ -30,6 +30,7 @@ var exportedDocPackages = map[string]bool{
 	"internal/graph":  true,
 	"internal/core":   true,
 	"internal/serve":  true,
+	"internal/shard":  true,
 	"internal/mat":    true,
 	"internal/par":    true,
 }

@@ -4,10 +4,16 @@
 // graph growth over /nodes and /edges, and observability over /stats and
 // /healthz. See ARCHITECTURE.md for the request path.
 //
+// With -shards P (P > 1) the graph is partitioned into P edge-cut shards
+// with a TMax-hop halo each, served by per-shard deployments behind a
+// cross-shard router — answers stay bit-identical to the single deployment
+// (see ARCHITECTURE.md, "Sharded serving").
+//
 // Usage:
 //
 //	naiserve -dataset flickr-like -mode distance -ts-quantile 0.3 -addr :8080
 //	naiserve -load model.json -graph serving.graph -max-batch 128 -max-wait 1ms
+//	naiserve -dataset products-like -shards 4
 //
 // Endpoints:
 //
@@ -34,6 +40,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/scalable"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -49,6 +56,10 @@ func main() {
 	tmax := flag.Int("tmax", 0, "maximum propagation depth (0 = K)")
 	maxBatch := flag.Int("max-batch", 64, "max targets per coalesced batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for batch mates")
+	shards := flag.Int("shards", 1, "partition the graph into this many shards (1 = single deployment)")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max HTTP request body size in bytes")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	quick := flag.Bool("quick", true, "shrink dataset and training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -96,9 +107,16 @@ func main() {
 		}
 	}
 
-	dep, err := core.NewDeployment(m, g)
-	if err != nil {
-		fail(err)
+	// The global deployment is needed as the backend when unsharded, and
+	// for T_s tuning in distance mode (the tuner propagates over the global
+	// normalized adjacency). In sharded fixed/gate modes it is skipped
+	// entirely — the router builds only shard-local state, so the daemon
+	// never materializes a whole-graph normalization it won't serve from.
+	var dep *core.Deployment
+	if *shards <= 1 || *mode == "distance" {
+		if dep, err = core.NewDeployment(m, g); err != nil {
+			fail(err)
+		}
 	}
 
 	// No Workers knob: a coalesced flush is exactly one Algorithm 1 batch
@@ -132,14 +150,40 @@ func main() {
 		fail(err)
 	}
 
-	srv := serve.New(dep, serve.Config{Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait})
+	// The backend: the deployment itself, or — with -shards P — a router
+	// over P per-shard deployments with a TMax-hop halo each. The router
+	// rebuilds its shard-local state from (m, g); a distance-mode tuning
+	// deployment's global caches are left for the GC afterwards.
+	var backend serve.Backend = dep
+	if *shards > 1 {
+		rt, err := shard.NewRouter(m, g, shard.Config{Shards: *shards, Radius: iopt.TMax})
+		if err != nil {
+			fail(err)
+		}
+		sizes := rt.Sizes()
+		halo := 0
+		for _, sz := range sizes {
+			halo += sz.Halo
+		}
+		fmt.Printf("sharded: %d shards, halo radius %d, %d ghost rows (%.1f%% replication)\n",
+			rt.Shards(), rt.Radius(), halo, 100*float64(halo)/float64(g.N()))
+		backend = rt
+	}
+
+	srv := serve.NewBackend(backend, serve.Config{
+		Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait, MaxBody: *maxBody})
 	defer srv.Close()
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
-	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, max-batch=%d, max-wait=%v)\n",
-		g.N(), g.M(), *addr, *mode, *maxBatch, *maxWait)
+	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, shards=%d, max-batch=%d, max-wait=%v)\n",
+		g.N(), g.M(), *addr, *mode, *shards, *maxBatch, *maxWait)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -60,6 +60,26 @@ type ServingStats struct {
 	AvgBatchTargets float64 `json:"avg_batch_targets"`
 }
 
+// ShardingStats records the sharded-serving benchmark: a sequential stream
+// of small batch requests against a P-shard router versus a single-shard
+// one on the same graph and operating point. The per-request pipeline —
+// supporting-ball BFS, sub-CSR extraction, remap, decisions — is serial per
+// batch, so fanning a request across P shards parallelizes exactly the
+// costs the in-batch kernels cannot; SpeedupX = sharded/P1 requests-per-
+// second is gated in CI (same-process, same-hardware ratio, so it ports
+// across runners). HaloFraction is the ghost-row replication the partition
+// pays: Σ halo / n.
+type ShardingStats struct {
+	Workload         string  `json:"workload"`
+	P                int     `json:"p"`
+	Radius           int     `json:"halo_radius"`
+	HaloFraction     float64 `json:"halo_fraction"`
+	BatchTargets     int     `json:"batch_targets"`
+	P1ReqPerSec      float64 `json:"p1_req_per_sec"`
+	ShardedReqPerSec float64 `json:"sharded_req_per_sec"`
+	SpeedupX         float64 `json:"speedup_x"`
+}
+
 // File is the full BENCH_infer.json document.
 type File struct {
 	Dataset    string             `json:"dataset"`
@@ -73,6 +93,7 @@ type File struct {
 	Benchmarks map[string]OpStats `json:"benchmarks"`
 	Scratch    ScratchStats       `json:"scratch"`
 	Serving    ServingStats       `json:"serving"`
+	Sharding   ShardingStats      `json:"sharding"`
 }
 
 // Load reads and parses a BENCH_infer.json file.

@@ -34,6 +34,9 @@ func (d *Deployment) ApplyDelta(delta graph.Delta) (*graph.DeltaResult, error) {
 // normalized entry); every other row is carried over bitwise. Callers that
 // mutate the graph through Deployment.ApplyDelta never need this directly.
 func (d *Deployment) RefreshIncremental(dr *graph.DeltaResult) {
+	if d.externalState {
+		panic("core: RefreshIncremental on a deployment with externally supplied state (shard subgraph); its router owns the caches")
+	}
 	if len(dr.Dirty) == 0 && dr.NumNew == 0 {
 		return
 	}

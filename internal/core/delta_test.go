@@ -175,7 +175,7 @@ func TestDeltaEdgeCases(t *testing.T) {
 	})
 
 	t.Run("isolated-new-node", func(t *testing.T) {
-		g := cloneGraph(ds.Graph)
+		g := ds.Graph.Clone()
 		dep, _ := NewDeployment(m, g)
 		dr, err := dep.ApplyDelta(graph.Delta{
 			Features: mat.Randn(1, g.F(), 1, rand.New(rand.NewSource(3))),
@@ -197,7 +197,7 @@ func TestDeltaEdgeCases(t *testing.T) {
 	})
 
 	t.Run("duplicate-and-existing-edges", func(t *testing.T) {
-		g := cloneGraph(ds.Graph)
+		g := ds.Graph.Clone()
 		dep, _ := NewDeployment(m, g)
 		u := 0
 		for g.Adj.RowNNZ(u) == 0 {
@@ -216,7 +216,7 @@ func TestDeltaEdgeCases(t *testing.T) {
 	})
 
 	t.Run("validation", func(t *testing.T) {
-		g := cloneGraph(ds.Graph)
+		g := ds.Graph.Clone()
 		dep, _ := NewDeployment(m, g)
 		cases := []graph.Delta{
 			{Features: mat.New(1, g.F()+1), Labels: []int{0}},          // wrong feature dim
@@ -231,21 +231,4 @@ func TestDeltaEdgeCases(t *testing.T) {
 			}
 		}
 	})
-}
-
-// cloneGraph deep-copies a graph so in-place deltas don't leak into the
-// shared test fixtures.
-func cloneGraph(g *graph.Graph) *graph.Graph {
-	adj := &sparse.CSR{
-		Rows:   g.Adj.Rows,
-		Cols:   g.Adj.Cols,
-		RowPtr: append([]int(nil), g.Adj.RowPtr...),
-		Col:    append([]int(nil), g.Adj.Col...),
-		Val:    append([]float64(nil), g.Adj.Val...),
-	}
-	ng, err := graph.New(adj, g.Features.Clone(), append([]int(nil), g.Labels...), g.NumClasses)
-	if err != nil {
-		panic(err)
-	}
-	return ng
 }

@@ -152,6 +152,12 @@ type Deployment struct {
 	// only materialize their target rows from it (O(b·f), not O(n·f)).
 	stationary *Stationary
 
+	// externalState marks a deployment whose Adj/stationary were supplied
+	// by NewDeploymentWithState (a shard subgraph with global semantics):
+	// rebuilding them from the local graph would silently break the
+	// sharded bit-identity, so Refresh and RefreshIncremental panic.
+	externalState bool
+
 	scratch sync.Pool // *inferScratch
 }
 
@@ -171,8 +177,13 @@ func NewDeployment(m *Model, g *graph.Graph) (*Deployment, error) {
 
 // Refresh recomputes the cached normalized adjacency and stationary state
 // after in-place mutations of the serving graph (new edges or features).
-// It must not be called concurrently with Infer.
+// It must not be called concurrently with Infer, and panics on a shard
+// deployment (NewDeploymentWithState): its caches carry global semantics a
+// local rebuild cannot reproduce — the shard router repairs them instead.
 func (d *Deployment) Refresh() {
+	if d.externalState {
+		panic("core: Refresh on a deployment with externally supplied state (shard subgraph); its router owns the caches")
+	}
 	d.Adj = sparse.NormalizedAdjacency(d.Graph.Adj, d.Model.Gamma)
 	d.stationary = ComputeStationary(d.Graph.Adj, d.Graph.Features, d.Model.Gamma)
 }

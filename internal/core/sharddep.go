@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// NewDeploymentWithState binds a model to a graph whose cached serving
+// state — the normalized adjacency and the stationary view — is supplied by
+// the caller instead of derived from the graph. internal/shard uses it to
+// deploy a shard-local subgraph with *global* semantics: the adjacency is
+// the global normalization cut to local coordinates (boundary rows truncated
+// at the halo, so a local recompute would see wrong degrees) and the
+// stationary view shares the global weighted sum (the rank-1 state is a
+// whole-graph quantity no subgraph can reproduce). The deployment behaves
+// exactly like one from NewDeployment — same Infer, same pooled scratch,
+// same concurrency contract — but Refresh, ApplyDelta and RefreshIncremental
+// must NOT be called on it: they would rebuild the caches from the local
+// subgraph and break the global semantics, so they panic on such a
+// deployment. The owner of the supplied state (the shard router) repairs it
+// after deltas instead.
+func NewDeploymentWithState(m *Model, g *graph.Graph, adj *sparse.CSR, st *Stationary) (*Deployment, error) {
+	if g.F() != m.FeatureDim {
+		return nil, fmt.Errorf("core: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	if g.NumClasses != m.NumClasses {
+		return nil, fmt.Errorf("core: graph classes %d != model %d", g.NumClasses, m.NumClasses)
+	}
+	if adj.Rows != g.N() || adj.Cols != g.N() {
+		return nil, fmt.Errorf("core: %dx%d adjacency for %d nodes", adj.Rows, adj.Cols, g.N())
+	}
+	if len(st.LoopedDeg) < g.N() {
+		return nil, fmt.Errorf("core: stationary view covers %d of %d nodes", len(st.LoopedDeg), g.N())
+	}
+	return &Deployment{Model: m, Graph: g, Adj: adj, stationary: st, externalState: true}, nil
+}
+
+// NumNodes reports the serving graph's node count (part of the
+// serve.Backend surface shared with shard.Router).
+func (d *Deployment) NumNodes() int { return d.Graph.N() }
+
+// NumEdges reports the serving graph's undirected edge count (part of the
+// serve.Backend surface shared with shard.Router).
+func (d *Deployment) NumEdges() int { return d.Graph.M() }

@@ -120,6 +120,9 @@ func ComputeStationary(adj *sparse.CSR, x *mat.Matrix, gamma float64) *Stationar
 // while the result stays bit-identical to ComputeStationary(adj, x, s.Gamma)
 // because both paths share the same fixed two-level summation.
 func (s *Stationary) Update(adj *sparse.CSR, x *mat.Matrix, dirty []int) {
+	if s.blockSums == nil {
+		panic("core: Update on a Stationary view (LocalView); update the owning state instead")
+	}
 	if adj.Rows != x.Rows {
 		panic(fmt.Sprintf("core: %d adjacency rows for %d feature rows", adj.Rows, x.Rows))
 	}
@@ -155,6 +158,29 @@ func (s *Stationary) Update(adj *sparse.CSR, x *mat.Matrix, dirty []int) {
 		}
 	}
 	s.reduceBlocks()
+}
+
+// LocalView returns a Stationary restricted to the given (local-id-ordered)
+// node set: entry i of the view is node nodes[i] of s. The view *shares*
+// s.WeightedSum — the global weighted feature sum is one whole-graph
+// quantity, and sharing the slice means an incremental Update of the owning
+// state is immediately visible to every view, keeping sharded stationary
+// rows bitwise identical to the unsharded ones — while LoopedDeg is a
+// gathered copy in local order. Scale and SumMACs are value copies the view
+// owner must re-sync after each Update of s (shard.Router does). Views are
+// read-only state for inference: calling Update on one panics.
+func (s *Stationary) LocalView(nodes []int) *Stationary {
+	looped := make([]float64, len(nodes))
+	for i, v := range nodes {
+		looped[i] = s.LoopedDeg[v]
+	}
+	return &Stationary{
+		Gamma:       s.Gamma,
+		Scale:       s.Scale,
+		WeightedSum: s.WeightedSum,
+		LoopedDeg:   looped,
+		SumMACs:     s.SumMACs,
+	}
 }
 
 // Row writes X(∞)_i into dst (length f) and returns dst.

@@ -171,3 +171,55 @@ func norm2(xs []float64) float64 {
 	}
 	return math.Sqrt(s)
 }
+
+// TestStationaryUpdateRobustDeltas pins Stationary.Update on the two delta
+// shapes most likely to trip the incremental path: an appended node with no
+// edges (its block must still re-accumulate and the scale must absorb the
+// grown node count) and a delta whose edge list repeated an edge (the
+// dirty rows arrive deduplicated, and re-accumulating a block twice would
+// still be idempotent). Both must stay bitwise equal to a from-scratch
+// ComputeStationary on the merged graph.
+func TestStationaryUpdateRobustDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, f := 300, 5 // spans two 256-node blocks once a node is appended
+	adj := randomAdj(n, 0.02, rng)
+	x := mat.Randn(n, f, 1, rng)
+	st := ComputeStationary(adj, x, 0.5)
+
+	requireSame := func(tag string, adj *sparse.CSR, x *mat.Matrix) {
+		t.Helper()
+		want := ComputeStationary(adj, x, 0.5)
+		if st.Scale != want.Scale || st.SumMACs != want.SumMACs {
+			t.Fatalf("%s: scalars differ: scale %v vs %v", tag, st.Scale, want.Scale)
+		}
+		for c := range want.WeightedSum {
+			if st.WeightedSum[c] != want.WeightedSum[c] {
+				t.Fatalf("%s: weighted sum column %d: %v != %v", tag, c, st.WeightedSum[c], want.WeightedSum[c])
+			}
+		}
+		for i := range want.LoopedDeg {
+			if st.LoopedDeg[i] != want.LoopedDeg[i] {
+				t.Fatalf("%s: looped degree of node %d: %v != %v", tag, i, st.LoopedDeg[i], want.LoopedDeg[i])
+			}
+		}
+	}
+
+	// Isolated appended node: adjacency grows by an empty row.
+	grown, dirty := adj.AppendEdges(n+1, nil, nil)
+	if len(dirty) != 0 {
+		t.Fatalf("empty append dirtied %v", dirty)
+	}
+	x2 := x.Clone()
+	x2.AppendRows(mat.Randn(1, f, 1, rng))
+	st.Update(grown, x2, []int{n}) // the appended node is always reported dirty
+	requireSame("isolated node", grown, x2)
+
+	// A repeated new edge: ApplyDelta's dirty report names each endpoint
+	// once; Update must land on the same bits as a fresh compute.
+	grown2, dirty2 := grown.AppendEdges(n+1, []int{3, 3, n}, []int{n, n, 3})
+	if len(dirty2) != 2 || dirty2[0] != 3 || dirty2[1] != n {
+		t.Fatalf("repeated-edge dirty %v, want [3 %d]", dirty2, n)
+	}
+	st.Update(grown2, x2, dirty2)
+	requireSame("repeated edge", grown2, x2)
+}

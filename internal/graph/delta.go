@@ -25,6 +25,21 @@ type Delta struct {
 	Src, Dst []int
 }
 
+// Clone returns a deep copy sharing no storage with d, so one delta can be
+// applied to several graphs (e.g. a sharded and an unsharded backend under
+// comparison) without them coupling through the feature matrix.
+func (d Delta) Clone() Delta {
+	out := Delta{
+		Labels: append([]int(nil), d.Labels...),
+		Src:    append([]int(nil), d.Src...),
+		Dst:    append([]int(nil), d.Dst...),
+	}
+	if d.Features != nil {
+		out.Features = d.Features.Clone()
+	}
+	return out
+}
+
 // DeltaResult reports what ApplyDelta changed, in the shape the incremental
 // refresh paths consume.
 type DeltaResult struct {

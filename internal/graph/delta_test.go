@@ -67,6 +67,82 @@ func TestApplyDeltaMatchesFromScratch(t *testing.T) {
 	}
 }
 
+// TestApplyDeltaIsolatedNode: a delta appending a node with no edges at all
+// must grow the graph by one empty adjacency row, report exactly that node
+// dirty, and match a from-scratch build of the same graph.
+func TestApplyDeltaIsolatedNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, f := 12, 3
+	src, dst := []int{0, 1, 4}, []int{1, 2, 5}
+	g, err := New(sparse.FromEdges(n, src, dst, true), mat.Randn(n, f, 1, rng), make([]int, n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := mat.Randn(1, f, 1, rng)
+	dr, err := g.ApplyDelta(Delta{Features: feats.Clone(), Labels: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.FirstNew != n || dr.NumNew != 1 {
+		t.Fatalf("bad id range %+v", dr)
+	}
+	if len(dr.Dirty) != 1 || dr.Dirty[0] != n {
+		t.Fatalf("dirty %v, want [%d]", dr.Dirty, n)
+	}
+	if g.N() != n+1 || g.Adj.RowNNZ(n) != 0 {
+		t.Fatalf("isolated node has %d adjacency entries", g.Adj.RowNNZ(n))
+	}
+	if g.Labels[n] != 1 {
+		t.Fatal("label not appended")
+	}
+	for j := 0; j < f; j++ {
+		if g.Features.At(n, j) != feats.At(0, j) {
+			t.Fatal("features not appended bitwise")
+		}
+	}
+	ref := sparse.FromEdges(n+1, src, dst, true)
+	if !mat.Equal(g.Adj.ToDense(), ref.ToDense()) {
+		t.Fatal("adjacency differs from a from-scratch build")
+	}
+}
+
+// TestApplyDeltaRepeatedNewEdge: a delta repeating a brand-new edge —
+// verbatim and reversed — must insert it exactly once, dirty each endpoint
+// exactly once, and match the from-scratch union build.
+func TestApplyDeltaRepeatedNewEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, f := 10, 3
+	src, dst := []int{0, 1}, []int{1, 2}
+	g, err := New(sparse.FromEdges(n, src, dst, true), mat.Randn(n, f, 1, rng), make([]int, n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4,7) three times (once reversed) plus (4,8) twice.
+	d := Delta{Src: []int{4, 4, 7, 4, 8}, Dst: []int{7, 7, 4, 8, 4}}
+	dr, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDirty := []int{4, 7, 8}
+	if len(dr.Dirty) != len(wantDirty) {
+		t.Fatalf("dirty %v, want %v", dr.Dirty, wantDirty)
+	}
+	for i, v := range wantDirty {
+		if dr.Dirty[i] != v {
+			t.Fatalf("dirty %v, want %v", dr.Dirty, wantDirty)
+		}
+	}
+	if g.Adj.RowNNZ(4) != 2 || g.Adj.At(4, 7) != 1 || g.Adj.At(7, 4) != 1 {
+		t.Fatal("repeated edge not inserted exactly once")
+	}
+	ref := sparse.FromEdges(n,
+		append(append([]int(nil), src...), d.Src...),
+		append(append([]int(nil), dst...), d.Dst...), true)
+	if !mat.Equal(g.Adj.ToDense(), ref.ToDense()) {
+		t.Fatal("adjacency differs from a from-scratch union build")
+	}
+}
+
 // TestAppendEdgesPreservesBase: the base matrix must be left untouched and
 // the new matrix must share no storage with it.
 func TestAppendEdgesPreservesBase(t *testing.T) {

@@ -53,6 +53,18 @@ func New(adj *sparse.CSR, features *mat.Matrix, labels []int, numClasses int) (*
 	return &Graph{Adj: adj, Features: features, Labels: labels, NumClasses: numClasses}, nil
 }
 
+// Clone returns a deep copy sharing no storage with g — the safe way to
+// hand one fixture graph to several consumers of in-place mutations
+// (deltas mutate the adjacency, features and labels).
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		Adj:        g.Adj.Clone(),
+		Features:   g.Features.Clone(),
+		Labels:     append([]int(nil), g.Labels...),
+		NumClasses: g.NumClasses,
+	}
+}
+
 // Split partitions nodes for the inductive setting: the model is trained on
 // the subgraph induced by Train ∪ Val and evaluated on Test inside the full
 // graph, so test nodes (and their incident edges) are unseen at training time.

@@ -106,7 +106,7 @@ func (c *coalescer) flush(batch []*pending) {
 	opt.BatchSize = 0 // one shared supporting ball is the whole point
 
 	c.graphMu.RLock()
-	res, err := c.srv.dep.Infer(all, opt)
+	res, err := c.srv.backend.Infer(all, opt)
 	c.graphMu.RUnlock()
 
 	for _, p := range batch {

@@ -87,13 +87,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// decodePost enforces POST and parses the body into v.
-func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+// decodePost enforces POST, caps the body at Config.MaxBody (oversized or
+// malformed payloads get a 400, never an unbounded read or a hang), and
+// parses the body into v.
+func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
@@ -104,7 +106,7 @@ func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var req InferRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if len(req.Nodes) == 0 {
@@ -121,7 +123,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	var req NodesRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if len(req.Features) == 0 {
@@ -157,7 +159,7 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	var req EdgesRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if len(req.Edges) == 0 {
@@ -191,7 +193,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.co.graphMu.RLock()
-	n, m := s.dep.Graph.N(), s.dep.Graph.M()
+	n, m := s.backend.NumNodes(), s.backend.NumEdges()
 	s.co.graphMu.RUnlock()
 	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Nodes: n, Edges: m})
 }

@@ -1,5 +1,6 @@
-// Package serve turns a core.Deployment into a long-lived serving daemon:
-// an HTTP JSON front-end with request coalescing and online graph deltas.
+// Package serve turns an inference backend — a single core.Deployment or a
+// sharded shard.Router — into a long-lived serving daemon: an HTTP JSON
+// front-end with request coalescing and online graph deltas.
 //
 // Three mechanisms make the daemon production-shaped (see ARCHITECTURE.md
 // for the end-to-end picture):
@@ -58,7 +59,15 @@ type Config struct {
 	// LatencyWindow is the ring size of retained per-request latencies for
 	// the /stats percentiles. ≤0 defaults to 1024.
 	LatencyWindow int
+	// MaxBody caps the accepted HTTP request body size in bytes
+	// (http.MaxBytesReader); oversized payloads get a 400, never an
+	// unbounded read. ≤0 defaults to 8 MiB — roomy for feature-row appends,
+	// small enough that a hostile client cannot balloon the daemon's heap.
+	MaxBody int64
 }
+
+// DefaultMaxBody is the request-body cap applied when Config.MaxBody ≤ 0.
+const DefaultMaxBody = 8 << 20
 
 func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
@@ -67,30 +76,60 @@ func (c Config) withDefaults() Config {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 1024
 	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = DefaultMaxBody
+	}
 	return c
 }
 
-// Server is the serving daemon's state: one deployment, one coalescer, one
-// stats tracker. Create it with New and expose Handler over HTTP, or call
+// Backend is the inference engine a Server fronts. Both the single-process
+// core.Deployment and the sharded shard.Router satisfy it, so the daemon —
+// coalescing, delta routing, stats — is identical whether it serves one
+// address space or a partitioned graph. The server imposes the concurrency
+// contract both implementations share: any number of concurrent Infer
+// calls (read lock), exclusive ApplyDelta (write lock).
+type Backend interface {
+	// Infer classifies the targets (global node ids); safe for concurrent
+	// callers.
+	Infer(targets []int, opt core.InferenceOptions) (*core.Result, error)
+	// ApplyDelta grows the serving graph; must be exclusive with Infer.
+	ApplyDelta(d graph.Delta) (*graph.DeltaResult, error)
+	// NumNodes and NumEdges describe the current serving graph.
+	NumNodes() int
+	NumEdges() int
+	// ScratchBytes reports the retained pooled-scratch footprint (the
+	// /stats memory gauge).
+	ScratchBytes() int
+}
+
+// Server is the serving daemon's state: one backend, one coalescer, one
+// stats tracker. Create it with New (single deployment) or NewBackend (any
+// Backend, e.g. a shard.Router) and expose Handler over HTTP, or call
 // Classify/ApplyDelta directly (the benchmarks do, to measure coalescing
 // without HTTP overhead).
 type Server struct {
-	dep   *core.Deployment
-	cfg   Config
-	co    *coalescer
-	stats *tracker
-	start time.Time
+	backend Backend
+	cfg     Config
+	co      *coalescer
+	stats   *tracker
+	start   time.Time
 }
 
-// New wraps a deployment. The deployment must not be mutated behind the
-// server's back afterwards — all graph changes go through ApplyDelta.
+// New wraps a single deployment. The deployment must not be mutated behind
+// the server's back afterwards — all graph changes go through ApplyDelta.
 func New(dep *core.Deployment, cfg Config) *Server {
+	return NewBackend(dep, cfg)
+}
+
+// NewBackend wraps any inference backend. Like New, the backend's graph
+// must only be mutated through the server's ApplyDelta from then on.
+func NewBackend(b Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		dep:   dep,
-		cfg:   cfg,
-		stats: newTracker(cfg.LatencyWindow),
-		start: time.Now(),
+		backend: b,
+		cfg:     cfg,
+		stats:   newTracker(cfg.LatencyWindow),
+		start:   time.Now(),
 	}
 	s.co = newCoalescer(s)
 	return s
@@ -109,7 +148,7 @@ func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 	// the adjacency directly, so an out-of-range id must be rejected here.
 	// Deltas only append, so an id valid now stays valid at flush time.
 	s.co.graphMu.RLock()
-	n := s.dep.Graph.N()
+	n := s.backend.NumNodes()
 	s.co.graphMu.RUnlock()
 	for _, v := range targets {
 		if v < 0 || v >= n {
@@ -131,7 +170,7 @@ func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 func (s *Server) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
 	s.co.graphMu.Lock()
 	defer s.co.graphMu.Unlock()
-	dr, err := s.dep.ApplyDelta(d)
+	dr, err := s.backend.ApplyDelta(d)
 	if err != nil {
 		return nil, err
 	}

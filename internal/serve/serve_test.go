@@ -12,8 +12,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mat"
 	"repro/internal/nn"
-	"repro/internal/sparse"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -51,7 +52,7 @@ func fixture(t *testing.T) (*synth.Dataset, *core.Model) {
 func newTestServer(t *testing.T, cfg Config) (*Server, *core.Deployment) {
 	t.Helper()
 	ds, m := fixture(t)
-	g := cloneGraph(ds.Graph)
+	g := ds.Graph.Clone()
 	dep, err := core.NewDeployment(m, g)
 	if err != nil {
 		t.Fatal(err)
@@ -62,21 +63,6 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *core.Deployment) {
 	s := New(dep, cfg)
 	t.Cleanup(s.Close)
 	return s, dep
-}
-
-func cloneGraph(g *graph.Graph) *graph.Graph {
-	adj := &sparse.CSR{
-		Rows:   g.Adj.Rows,
-		Cols:   g.Adj.Cols,
-		RowPtr: append([]int(nil), g.Adj.RowPtr...),
-		Col:    append([]int(nil), g.Adj.Col...),
-		Val:    append([]float64(nil), g.Adj.Val...),
-	}
-	ng, err := graph.New(adj, g.Features.Clone(), append([]int(nil), g.Labels...), g.NumClasses)
-	if err != nil {
-		panic(err)
-	}
-	return ng
 }
 
 // TestCoalescedMatchesDirect: answers served through the coalescer must be
@@ -234,6 +220,113 @@ func TestDeltasUnderTraffic(t *testing.T) {
 	}
 }
 
+// TestCoalescerImmediateFlush: MaxWait <= 0 disables waiting — every
+// serial request must flush as its own Infer call the moment it arrives.
+func TestCoalescerImmediateFlush(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 64, MaxWait: 0})
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Classify([]int{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Requests != 5 || st.InferCalls != 5 {
+		t.Fatalf("immediate mode coalesced: %d Infer calls for %d requests", st.InferCalls, st.Requests)
+	}
+}
+
+// TestCoalescerExactMaxBatch: a window filling to exactly MaxBatch targets
+// must flush on size — all callers return as one batch long before the
+// (hour-long) timer, and the stats record a single Infer call.
+func TestCoalescerExactMaxBatch(t *testing.T) {
+	const batch = 4
+	s, _ := newTestServer(t, Config{MaxBatch: batch, MaxWait: time.Hour})
+	var wg sync.WaitGroup
+	errs := make(chan error, batch)
+	for i := 0; i < batch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := s.Classify([]int{i}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("exactly-full window did not flush on size")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Requests != batch || st.InferCalls != 1 || st.Targets != batch {
+		t.Fatalf("want one %d-target flush, got %+v", batch, st)
+	}
+}
+
+// TestCoalescerStaleTimer exercises the generation-mismatch path: a timer
+// that fires after its window already flushed on size must be a no-op (no
+// double serve, no panic), and the coalescer must keep serving afterwards.
+func TestCoalescerStaleTimer(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 2, MaxWait: time.Hour})
+	co := s.co
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		if _, _, err := s.Classify([]int{1}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	// Wait for the first request to open a window, then capture its
+	// generation — the stale value a racing timer would hold.
+	var gen int
+	for {
+		co.mu.Lock()
+		queued := len(co.queue)
+		gen = co.gen
+		co.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// The second request fills the window and flushes it on size.
+	if _, _, err := s.Classify([]int{2}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Simulate the lost race: the old window's timer fires now.
+	co.timerFlush(gen)
+	if st := s.Stats(); st.InferCalls != 1 || st.Requests != 2 {
+		t.Fatalf("stale timer changed accounting: %+v", st)
+	}
+	// And the coalescer still serves: a fresh window fills and flushes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := s.Classify([]int{3}); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, _, err := s.Classify([]int{4}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.InferCalls != 2 || st.Requests != 4 {
+		t.Fatalf("post-stale-timer window misbehaved: %+v", st)
+	}
+}
+
 // --- HTTP layer ---------------------------------------------------------
 
 func postJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
@@ -268,6 +361,102 @@ func nodesReq(t *testing.T, s *Server, features [][]float64, labels []int, edges
 		t.Fatalf("POST /nodes: %d", resp.StatusCode)
 	}
 	return decodeBody[NodesResponse](t, resp)
+}
+
+// TestHTTPMaxBody: payloads beyond Config.MaxBody must be rejected with a
+// 400 — not read to completion, not a hang, not a 500 — and the server must
+// keep serving normal requests afterwards.
+func TestHTTPMaxBody(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxWait: time.Millisecond, MaxBody: 512})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := InferRequest{Nodes: make([]int, 4096)} // ~8KiB of JSON
+	resp := postJSON(t, ts, "/infer", big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized /infer: status %d, want 400", resp.StatusCode)
+	}
+	huge := NodesRequest{Features: [][]float64{make([]float64, 8192)}, Labels: []int{0}}
+	resp = postJSON(t, ts, "/nodes", huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized /nodes: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts, "/infer", InferRequest{Nodes: []int{0, 1}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("normal request after oversized one: status %d", resp.StatusCode)
+	}
+}
+
+// TestShardedBackendServing runs the daemon against a shard.Router backend
+// and requires the answers (and the delta path) to match a single-
+// deployment server over the same graph — the Backend seam must be
+// invisible to clients.
+func TestShardedBackendServing(t *testing.T) {
+	ds, m := fixture(t)
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: m.K}
+
+	single, err := core.NewDeployment(m, ds.Graph.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shard.NewRouter(m, ds.Graph.Clone(), shard.Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSingle := New(single, Config{Opt: opt, MaxWait: time.Millisecond})
+	t.Cleanup(sSingle.Close)
+	sSharded := NewBackend(sharded, Config{Opt: opt, MaxWait: time.Millisecond})
+	t.Cleanup(sSharded.Close)
+
+	check := func(targets []int) {
+		t.Helper()
+		wantP, wantD, err := sSingle.Classify(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, gotD, err := sSharded.Classify(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range targets {
+			if gotP[i] != wantP[i] || gotD[i] != wantD[i] {
+				t.Fatalf("target %d: sharded (%d,%d) != single (%d,%d)",
+					targets[i], gotP[i], gotD[i], wantP[i], wantD[i])
+			}
+		}
+	}
+	check(ds.Split.Test[:8])
+
+	// Grow both graphs identically through the server API and re-compare,
+	// including the appended node.
+	f := ds.Graph.F()
+	row := make([]float64, f)
+	row[0] = 1
+	d := graph.Delta{Features: mat.FromRows([][]float64{row}), Labels: []int{0},
+		Src: []int{ds.Graph.N()}, Dst: []int{3}}
+	if _, err := sSingle.ApplyDelta(d.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sSharded.ApplyDelta(d.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	check(append([]int{ds.Graph.N()}, ds.Split.Test[:4]...))
+
+	// The HTTP surface reports the sharded graph's true size.
+	ts := httptest.NewServer(sSharded.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[HealthResponse](t, resp)
+	if h.Nodes != ds.Graph.N()+1 {
+		t.Fatalf("sharded /healthz nodes %d, want %d", h.Nodes, ds.Graph.N()+1)
+	}
 }
 
 func TestHTTPEndpoints(t *testing.T) {

@@ -129,9 +129,9 @@ func (s *Server) Stats() Stats {
 	}
 
 	s.co.graphMu.RLock()
-	st.Nodes = s.dep.Graph.N()
-	st.Edges = s.dep.Graph.M()
-	st.ScratchBytes = s.dep.ScratchBytes()
+	st.Nodes = s.backend.NumNodes()
+	st.Edges = s.backend.NumEdges()
+	st.ScratchBytes = s.backend.ScratchBytes()
 	s.co.graphMu.RUnlock()
 	return st
 }

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// ApplyDelta routes an online graph mutation through the sharded system,
+// leaving every shard bit-identical to a from-scratch rebuild over the
+// merged graph (and therefore the whole system bit-identical to an
+// unsharded Deployment.ApplyDelta):
+//
+//  1. The global graph absorbs the delta and the global stationary state
+//     updates incrementally (Stationary.Update — the shards' views share
+//     its weighted sum, so they see the new X(∞) for free).
+//  2. New nodes are assigned owners: a node inherits the shard of the
+//     first delta edge connecting it to an already-owned node; unattached
+//     arrivals go to the least-loaded shard (lowest id on ties).
+//  3. Each shard re-expands its halo *incrementally*: only distances
+//     reachable through the delta's dirty rows are relaxed (edge additions
+//     only shrink distances, so a bucketed BFS from the delta's endpoints
+//     and the new owned nodes touches just the affected region), newly
+//     reached nodes enter the local subgraph as appended ghost/owned rows,
+//     and the local normalized adjacency is repaired with
+//     sparse.NormalizedAdjacencyPatch over the value-dirty local rows —
+//     the same patch the unsharded RefreshIncremental path uses.
+//
+// Must not run concurrently with Infer (the serving daemon holds its write
+// lock around deltas, matching the unsharded backend's contract).
+func (r *Router) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
+	dr, err := r.global.ApplyDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	r.st.Update(r.global.Adj, r.global.Features, dr.Dirty)
+	newOwned := r.assignNew(dr, d)
+	for p, s := range r.shards {
+		if err := r.updateShard(s, newOwned[p], d, dr); err != nil {
+			return nil, err
+		}
+	}
+	return dr, nil
+}
+
+// assignNew picks an owner for every appended node and extends the owner
+// map. Processing ids in ascending order makes the policy deterministic: a
+// new node connected (by a delta edge) to a node whose owner is already
+// known — an old node, or a lower-id new node — joins that shard; otherwise
+// it goes to the shard owning the fewest nodes. One pass over the edge list
+// collects each new node's earliest lower-id neighbor, so the whole
+// assignment is O(|edges| + NumNew) — it runs under the serving write lock.
+func (r *Router) assignNew(dr *graph.DeltaResult, d graph.Delta) [][]int {
+	newOwned := make([][]int, len(r.shards))
+	if dr.NumNew == 0 {
+		return newOwned
+	}
+	attach := make([]int, dr.NumNew) // earliest delta neighbor with a smaller id; −1 if none
+	for i := range attach {
+		attach[i] = -1
+	}
+	note := func(v, w int) {
+		if v >= dr.FirstNew && w < v && attach[v-dr.FirstNew] < 0 {
+			attach[v-dr.FirstNew] = w
+		}
+	}
+	for i := range d.Src {
+		note(d.Src[i], d.Dst[i])
+		note(d.Dst[i], d.Src[i])
+	}
+	for v := dr.FirstNew; v < dr.FirstNew+dr.NumNew; v++ {
+		p := -1
+		if w := attach[v-dr.FirstNew]; w >= 0 {
+			p = int(r.owner[w]) // already assigned: w < v and ids assign in order
+		}
+		if p < 0 {
+			p = 0
+			for q := 1; q < len(r.shards); q++ {
+				if r.ownedCount[q] < r.ownedCount[p] {
+					p = q
+				}
+			}
+		}
+		r.owner = append(r.owner, int32(p))
+		r.ownedCount[p]++
+		newOwned[p] = append(newOwned[p], v)
+	}
+	return newOwned
+}
+
+// updateShard is the per-shard half of ApplyDelta: incremental halo
+// re-expansion, local subgraph growth, and normalized-adjacency repair.
+func (r *Router) updateShard(s *shardRuntime, newOwned []int, d graph.Delta, dr *graph.DeltaResult) error {
+	gAdj := r.global.Adj
+	radius := r.radius
+	for len(s.toLocal) < r.global.N() {
+		s.toLocal = append(s.toLocal, -1)
+	}
+	inf := radius + 1
+	curDist := func(v int) int {
+		if lv := s.toLocal[v]; lv >= 0 {
+			return s.dist[lv]
+		}
+		return inf
+	}
+
+	// Bucketed multi-source relaxation over the merged global graph.
+	// Additions only shrink distances, so processing candidate levels in
+	// ascending order finalizes each improved node the first time it pops;
+	// the region visited is bounded by the balls around the delta's dirty
+	// rows. s.dist is not mutated until afterwards, so curDist reads
+	// pre-delta distances throughout.
+	buckets := make([][]int, radius+1)
+	push := func(v, dv int) {
+		if dv <= radius {
+			buckets[dv] = append(buckets[dv], v)
+		}
+	}
+	for _, v := range newOwned {
+		push(v, 0)
+	}
+	for i := range d.Src {
+		u, v := d.Src[i], d.Dst[i]
+		if du := curDist(u); du < radius {
+			push(v, du+1)
+		}
+		if dv := curDist(v); dv < radius {
+			push(u, dv+1)
+		}
+	}
+	newDist := map[int]int{}
+	oldDist := map[int]int{} // pre-delta distance of every improved node
+	for dv := 0; dv <= radius; dv++ {
+		for qi := 0; qi < len(buckets[dv]); qi++ {
+			v := buckets[dv][qi]
+			cur := curDist(v)
+			if nd, ok := newDist[v]; ok && nd < cur {
+				cur = nd
+			}
+			if dv >= cur {
+				continue
+			}
+			if _, ok := newDist[v]; !ok {
+				oldDist[v] = curDist(v)
+			}
+			newDist[v] = dv
+			if dv < radius {
+				for _, u := range gAdj.RowIndices(v) {
+					push(u, dv+1)
+				}
+			}
+		}
+	}
+
+	changed := make([]int, 0, len(newDist))
+	for v := range newDist {
+		changed = append(changed, v)
+	}
+	sort.Ints(changed)
+
+	// Newcomers join the local id space in ascending global order; promoted
+	// nodes just update their stored distance.
+	baseLocal := len(s.universe)
+	var newcomers []int
+	for _, v := range changed {
+		if s.toLocal[v] < 0 {
+			newcomers = append(newcomers, v)
+			s.toLocal[v] = int32(len(s.universe))
+			s.universe = append(s.universe, v)
+			s.dist = append(s.dist, newDist[v])
+		} else {
+			s.dist[s.toLocal[v]] = newDist[v]
+		}
+	}
+
+	// Local edge set: delta edges with both endpoints in the grown
+	// universe, plus the in-universe global rows of every newcomer and of
+	// every node promoted from the boundary ring to the interior (a
+	// promoted row must become complete — all its neighbors are within
+	// radius now — and a newcomer's truncated row keeps the local matrix
+	// exactly what a fresh build over the merged graph would cut, which the
+	// rebuild-equivalence test pins). AppendEdges dedupes against existing
+	// entries per direction, preserving the invariant that an entry (u,v)
+	// is stored iff the edge exists globally and both endpoints are local.
+	var lsrc, ldst []int
+	addEdge := func(gu, gv int) {
+		lu, lv := s.toLocal[gu], s.toLocal[gv]
+		if lu >= 0 && lv >= 0 {
+			lsrc = append(lsrc, int(lu))
+			ldst = append(ldst, int(lv))
+		}
+	}
+	for i := range d.Src {
+		addEdge(d.Src[i], d.Dst[i])
+	}
+	for _, v := range changed {
+		if old := oldDist[v]; old > radius || (old == radius && newDist[v] < radius) {
+			for _, u := range gAdj.RowIndices(v) {
+				addEdge(v, u)
+			}
+		}
+	}
+
+	var ld graph.Delta
+	if len(newcomers) > 0 {
+		ld.Features = r.global.Features.GatherRows(newcomers)
+		ld.Labels = make([]int, len(newcomers))
+		for k, v := range newcomers {
+			ld.Labels[k] = r.global.Labels[v]
+		}
+	}
+	ld.Src, ld.Dst = lsrc, ldst
+	ldr, err := s.dep.Graph.ApplyDelta(ld)
+	if err != nil {
+		return err
+	}
+
+	// Re-sync the stationary view with the updated global state: the
+	// weighted sum is shared, the scalars and the gathered looped degrees
+	// are not.
+	s.st.Scale = r.st.Scale
+	s.st.SumMACs = r.st.SumMACs
+	for _, v := range dr.Dirty {
+		if lv := s.toLocal[v]; lv >= 0 && int(lv) < baseLocal {
+			s.st.LoopedDeg[lv] = r.st.LoopedDeg[v]
+		}
+	}
+	for _, v := range newcomers {
+		s.st.LoopedDeg = append(s.st.LoopedDeg, r.st.LoopedDeg[v])
+	}
+
+	localN := len(s.universe)
+	if len(ldr.Dirty) == 0 && !anyLocalDirty(s, dr.Dirty, baseLocal) {
+		return nil
+	}
+
+	// Value-dirty local rows, mirroring the unsharded RefreshIncremental:
+	// every universe node whose global looped degree changed, every local
+	// row adjacent to one (its D̃^{−γ} column factors moved — the local
+	// matrix is symmetric under truncation, so the node's own row names
+	// exactly the rows referencing it), and every row whose local entry set
+	// changed.
+	mark := make([]bool, localN)
+	lAdj := s.dep.Graph.Adj
+	for _, v := range dr.Dirty {
+		if lv := s.toLocal[v]; lv >= 0 {
+			mark[lv] = true
+			for _, lu := range lAdj.RowIndices(int(lv)) {
+				mark[lu] = true
+			}
+		}
+	}
+	for _, lv := range ldr.Dirty {
+		mark[lv] = true
+	}
+	valDirty := make([]int, 0, len(ldr.Dirty))
+	for lv, m := range mark {
+		if m {
+			valDirty = append(valDirty, lv)
+		}
+	}
+	s.dep.Adj = sparse.NormalizedAdjacencyPatch(lAdj, r.model.Gamma, s.dep.Adj, s.st.LoopedDeg, valDirty)
+	return nil
+}
+
+// anyLocalDirty reports whether any pre-existing universe node's global
+// degree changed (newcomer rows are covered by the local delta's dirty
+// report already).
+func anyLocalDirty(s *shardRuntime, dirty []int, baseLocal int) bool {
+	for _, v := range dirty {
+		if lv := s.toLocal[v]; lv >= 0 && int(lv) < baseLocal {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// Config parametrizes NewRouter.
+type Config struct {
+	// Shards is the partition width P (≥ 1; 1 degenerates to a routed
+	// single deployment, the baseline the sharding benchmark compares
+	// against).
+	Shards int
+	// Radius is the halo radius in hops: each shard's subgraph holds every
+	// node within Radius hops of its owned set, so any operating point with
+	// TMax ≤ Radius can be served exactly. ≤0 defaults to the model's K
+	// (the deepest depth any operating point can ask for).
+	Radius int
+	// Strategy selects the partitioner (default StrategyBFS).
+	Strategy Strategy
+}
+
+// shardRuntime is one shard's serving state: the local subgraph (owned ∪
+// halo, ids compacted in ascending global order at build time, arrivals
+// appended), the remap between coordinate spaces, the hop distance of every
+// local node from the owned set, and the deployment answering for it.
+type shardRuntime struct {
+	// universe maps local → global id.
+	universe []int
+	// toLocal maps global → local id; −1 outside the universe. Router
+	// deltas extend it as the global graph grows.
+	toLocal []int32
+	// dist[lv] is the hop distance of local node lv from the owned set
+	// (0 = owned, Radius = outermost ghost ring). Nodes with dist ≤
+	// Radius−1 are interior: their local adjacency rows are complete.
+	dist []int
+	// dep serves the shard; its Adj and Stationary carry global semantics
+	// (see core.NewDeploymentWithState) and are repaired by the Router
+	// after deltas.
+	dep *core.Deployment
+	// st is dep's stationary view (kept here because the Router re-syncs
+	// its Scale/SumMACs/LoopedDeg after every delta).
+	st *core.Stationary
+}
+
+// Router fronts a set of per-shard deployments with the same Infer /
+// ApplyDelta surface as a single core.Deployment (both satisfy
+// serve.Backend). It owns the source-of-truth global graph — the partition
+// map, delta routing and halo bookkeeping all read it — plus the global
+// stationary state every shard's view shares; the per-shard deployments
+// hold the bulky hot-path state (features, normalized adjacency rows,
+// propagation scratch) only for their own subgraph. In a multi-process
+// deployment the router's global copy corresponds to the partition/ingest
+// service; the per-shard runtimes are what each serving pod would hold.
+type Router struct {
+	model  *core.Model
+	global *graph.Graph
+	st     *core.Stationary
+	radius int
+	owner  []int32
+	// ownedCount[p] tracks shard p's owned-node count for least-loaded
+	// placement of unattached arrivals.
+	ownedCount []int
+	shards     []*shardRuntime
+}
+
+// NewRouter partitions g into cfg.Shards shards and builds the per-shard
+// deployments. The Router takes ownership of g: all subsequent mutations
+// must go through Router.ApplyDelta (mutating g behind the router's back
+// desynchronizes the shard subgraphs).
+func NewRouter(m *core.Model, g *graph.Graph, cfg Config) (*Router, error) {
+	if g.F() != m.FeatureDim {
+		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	radius := cfg.Radius
+	if radius <= 0 {
+		radius = m.K
+	}
+	asg, err := Partition(g, cfg.Shards, cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	st := core.ComputeStationary(g.Adj, g.Features, m.Gamma)
+	return newRouter(m, g, st, asg, radius)
+}
+
+// newRouter builds the runtime from an explicit assignment (tests use it to
+// rebuild a router from scratch with the owner map an evolved router ended
+// up with, pinning the incremental delta path against a fresh build).
+func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignment, radius int) (*Router, error) {
+	r := &Router{
+		model:      m,
+		global:     g,
+		st:         st,
+		radius:     radius,
+		owner:      asg.Owner,
+		ownedCount: make([]int, asg.P),
+		shards:     make([]*shardRuntime, asg.P),
+	}
+	for p := 0; p < asg.P; p++ {
+		r.ownedCount[p] = len(asg.Owned[p])
+		s, err := buildShard(m, g, st, asg.Owned[p], radius)
+		if err != nil {
+			return nil, err
+		}
+		r.shards[p] = s
+	}
+	return r, nil
+}
+
+// buildShard cuts one shard's subgraph out of the global graph and deploys
+// it. The local adjacency keeps every universe row truncated to universe
+// columns — interior rows (dist ≤ radius−1) are complete by the halo
+// construction, boundary rows keep exactly the in-universe half of their
+// edges so the local matrix stays symmetric (delta routing relies on that
+// for reverse neighbor lookups).
+func buildShard(m *core.Model, g *graph.Graph, gst *core.Stationary, owned []int, radius int) (*shardRuntime, error) {
+	sets := graph.SupportingSets(g.Adj, owned, radius)
+	universe := sets[0]
+	toLocal := graph.NewIndex(g.N())
+	graph.IndexSet(universe, toLocal)
+
+	dist := make([]int, len(universe))
+	for r := radius; r >= 0; r-- {
+		// sets[radius−r] is the radius-r ball; descending r leaves each
+		// node with its minimum distance.
+		for _, v := range sets[radius-r] {
+			dist[toLocal[v]] = r
+		}
+	}
+
+	raw := g.Adj.ExtractRowsTruncated(universe, toLocal, len(universe))
+	labels := make([]int, len(universe))
+	for lv, v := range universe {
+		labels[lv] = g.Labels[v]
+	}
+	lg, err := graph.New(raw, g.Features.GatherRows(universe), labels, g.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	st := gst.LocalView(universe)
+	adj := sparse.NormalizedAdjacencyWithDegrees(raw, m.Gamma, st.LoopedDeg)
+	dep, err := core.NewDeploymentWithState(m, lg, adj, st)
+	if err != nil {
+		return nil, err
+	}
+	return &shardRuntime{universe: universe, toLocal: toLocal, dist: dist, dep: dep, st: st}, nil
+}
+
+// Infer answers for the targets (global ids) by bucketing them per owning
+// shard, running the per-shard Infer calls concurrently (internal/par fans
+// them out; tiny requests run inline under its work threshold), and
+// scattering the per-shard results back into request order. Predictions and
+// depths are bit-identical to a single unsharded Deployment; MAC totals and
+// TotalTime/FPTime sum the per-shard batches, so — exactly like BatchSize
+// splitting — the cost accounting reflects the sharded execution and the
+// time sums can exceed wall clock. Safe for concurrent callers.
+func (r *Router) Infer(targets []int, opt core.InferenceOptions) (*core.Result, error) {
+	if err := opt.Validate(r.model); err != nil {
+		return nil, err
+	}
+	if opt.TMax > r.radius {
+		return nil, fmt.Errorf("shard: TMax %d exceeds the partition's halo radius %d", opt.TMax, r.radius)
+	}
+	agg := &core.Result{NodesPerDepth: make([]int, r.model.K+1)}
+	if len(targets) == 0 {
+		return agg, nil
+	}
+	n := r.global.N()
+	local := make([][]int, len(r.shards))
+	pos := make([][]int, len(r.shards))
+	for i, v := range targets {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("shard: node %d outside [0,%d)", v, n)
+		}
+		p := r.owner[v]
+		local[p] = append(local[p], int(r.shards[p].toLocal[v]))
+		pos[p] = append(pos[p], i)
+	}
+	var calls []int
+	for p := range local {
+		if len(local[p]) > 0 {
+			calls = append(calls, p)
+		}
+	}
+
+	results := make([]*core.Result, len(calls))
+	errs := make([]error, len(calls))
+	// Every per-shard call runs a full batch pipeline — supporting-ball
+	// BFS, sub-CSR extraction, propagation — whose cost dwarfs a goroutine
+	// spawn even for single-target requests (the ball scales with the
+	// graph's degrees, not the target count), so any multi-shard request
+	// clears par's fan-out threshold by construction; a single-shard
+	// request runs inline either way.
+	par.For(len(calls), par.Threshold*len(calls), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			results[k], errs[k] = r.shards[calls[k]].dep.Infer(local[calls[k]], opt)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	agg.Pred = make([]int, len(targets))
+	agg.Depths = make([]int, len(targets))
+	for k, p := range calls {
+		res := results[k]
+		for j, i := range pos[p] {
+			agg.Pred[i] = res.Pred[j]
+			agg.Depths[i] = res.Depths[j]
+		}
+		for l := range res.NodesPerDepth {
+			agg.NodesPerDepth[l] += res.NodesPerDepth[l]
+		}
+		agg.MACs.Add(res.MACs)
+		agg.TotalTime += res.TotalTime
+		agg.FPTime += res.FPTime
+		agg.NumTargets += res.NumTargets
+	}
+	return agg, nil
+}
+
+// NumNodes reports the global serving graph's node count.
+func (r *Router) NumNodes() int { return r.global.N() }
+
+// NumEdges reports the global serving graph's undirected edge count.
+func (r *Router) NumEdges() int { return r.global.M() }
+
+// Shards reports the partition width P.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Radius reports the halo radius the partition was built for.
+func (r *Router) Radius() int { return r.radius }
+
+// ScratchBytes sums the retained pooled-scratch footprint across shards
+// (one in-flight batch per shard), mirroring Deployment.ScratchBytes for
+// the serving /stats gauge.
+func (r *Router) ScratchBytes() int {
+	total := 0
+	for _, s := range r.shards {
+		total += s.dep.ScratchBytes()
+	}
+	return total
+}
+
+// ShardSize describes one shard's subgraph for observability: how many
+// nodes it owns and how many ghost rows its halo replicates.
+type ShardSize struct {
+	Owned, Halo int
+}
+
+// Sizes reports per-shard owned and halo node counts. The halo sum over
+// shards divided by the node count is the replication overhead the
+// partition pays for shard-local supporting balls.
+func (r *Router) Sizes() []ShardSize {
+	out := make([]ShardSize, len(r.shards))
+	for p, s := range r.shards {
+		out[p] = ShardSize{Owned: r.ownedCount[p], Halo: len(s.universe) - r.ownedCount[p]}
+	}
+	return out
+}

@@ -24,19 +24,34 @@ const (
 // adj must be square and symmetric for the spectral properties the paper
 // relies on, but the scaling itself works for any square matrix.
 func NormalizedAdjacency(adj *CSR, gamma float64) *CSR {
+	return NormalizedAdjacencyWithDegrees(adj, gamma, LoopedDegrees(adj))
+}
+
+// NormalizedAdjacencyWithDegrees is NormalizedAdjacency with the looped
+// degree vector d̃ supplied by the caller instead of derived from adj's rows.
+// The two coincide when looped = LoopedDegrees(adj) — bit for bit, since a
+// binary row's value sum is the exact integer degree — but a sharded serving
+// graph passes the *global* looped degrees here: a shard's boundary rows are
+// truncated at the halo, so their local row sums undercount the true degree,
+// while the D̃^{γ−1}/D̃^{−γ} factors of every stored entry must match the
+// full-graph normalization bitwise for sharded answers to stay identical.
+// looped must cover every node (length ≥ adj.Rows) with positive entries.
+func NormalizedAdjacencyWithDegrees(adj *CSR, gamma float64, looped []float64) *CSR {
 	if adj.Rows != adj.Cols {
 		panic("sparse: NormalizedAdjacency requires a square matrix")
 	}
 	if gamma < 0 || gamma > 1 {
 		panic(fmt.Sprintf("sparse: gamma %v outside [0,1]", gamma))
 	}
+	if len(looped) < adj.Rows {
+		panic(fmt.Sprintf("sparse: %d looped degrees for %d nodes", len(looped), adj.Rows))
+	}
 	loop := adj.AddSelfLoops()
-	deg := loop.Degrees()
-	left := make([]float64, len(deg))  // d̃^{γ−1}
-	right := make([]float64, len(deg)) // d̃^{−γ}
-	for i, d := range deg {
+	left := make([]float64, adj.Rows)  // d̃^{γ−1}
+	right := make([]float64, adj.Rows) // d̃^{−γ}
+	for i := 0; i < adj.Rows; i++ {
+		d := looped[i]
 		if d <= 0 {
-			// cannot happen after AddSelfLoops, but keep the invariant local
 			panic(fmt.Sprintf("sparse: node %d has non-positive looped degree %v", i, d))
 		}
 		left[i] = math.Pow(d, gamma-1)
