@@ -399,6 +399,7 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 	baseline.Scratch = measureScratch(b)
 	baseline.Serving = measureServing(b)
 	baseline.Sharding = measureSharding(b)
+	baseline.Cache = measureCachedServing(b)
 	data, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -652,6 +653,81 @@ func BenchmarkShardedInfer(b *testing.B) {
 	b.ReportMetric(st.ShardedReqPerSec, "sharded-req/s")
 	b.ReportMetric(st.SpeedupX, "speedupX")
 	b.ReportMetric(st.HaloFraction, "haloFrac")
+}
+
+// measureCachedServing runs the hot-node result-cache comparison: 64
+// concurrent clients replaying one deterministic Zipf(1.1) target stream
+// (rank 0 hottest — the skew real serving traffic shows) against two
+// otherwise identical coalescing servers over the same deployment, one
+// with the result cache and one without. No deltas flow, so the cached
+// server converges to answering hot nodes from the cache while the
+// uncached one re-pays BFS + extraction + propagation + classification per
+// flush; answers are bit-identical either way (pinned by the serve
+// package's equivalence suite). SpeedupX is gated ≥2× in CI by
+// cmd/benchgate -min-cache-speedup.
+func measureCachedServing(b *testing.B) benchfmt.CachedServingStats {
+	dep, targets, opt := servingWorkload(b)
+	const clients = 64
+	const zipfS = 1.1
+	const cacheEntries = 4096
+	seq := bench.ZipfTargets(7, zipfS, targets, 1<<15)
+	cfg := serve.Config{Opt: opt, MaxBatch: clients, MaxWait: 2 * time.Millisecond}
+
+	const warm, run = 100 * time.Millisecond, 400 * time.Millisecond
+	measure := func(srv *serve.Server) float64 {
+		call := func(v int) error {
+			_, _, err := srv.Classify([]int{v})
+			return err
+		}
+		if _, err := runClients(clients, seq, warm, call); err != nil {
+			b.Fatal(err)
+		}
+		rps, err := runClients(clients, seq, run, call)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rps
+	}
+
+	uncached := serve.New(dep, cfg)
+	uncachedRPS := measure(uncached)
+	uncached.Close()
+
+	cfg.CacheSize = cacheEntries
+	cached := serve.New(dep, cfg)
+	cachedRPS := measure(cached)
+	st := cached.Stats()
+	cached.Close()
+
+	hitRate := 0.0
+	if st.Cache != nil {
+		hitRate = st.Cache.HitRate
+	}
+	return benchfmt.CachedServingStats{
+		Workload:          "products-like/64-clients-zipf1.1",
+		Clients:           clients,
+		ZipfS:             zipfS,
+		DistinctTargets:   len(targets),
+		CacheEntries:      cacheEntries,
+		UncachedReqPerSec: uncachedRPS,
+		CachedReqPerSec:   cachedRPS,
+		SpeedupX:          cachedRPS / uncachedRPS,
+		HitRate:           hitRate,
+	}
+}
+
+// BenchmarkServeCachedZipf reports the cached-vs-uncached hot-node serving
+// comparison as metrics; the JSON-recorded version feeding the CI gate
+// lives in BenchmarkInferBaselineJSON.
+func BenchmarkServeCachedZipf(b *testing.B) {
+	var st benchfmt.CachedServingStats
+	for i := 0; i < b.N; i++ {
+		st = measureCachedServing(b)
+	}
+	b.ReportMetric(st.UncachedReqPerSec, "uncached-req/s")
+	b.ReportMetric(st.CachedReqPerSec, "cached-req/s")
+	b.ReportMetric(st.SpeedupX, "speedupX")
+	b.ReportMetric(st.HitRate, "hitRate")
 }
 
 // BenchmarkServeCoalesced reports the coalesced-serving comparison as

@@ -6,15 +6,16 @@
 // Only machine-independent numbers gate: B/op of the serial serving
 // benchmark (-gate, tolerance -tol, default 20%), the compacted-scratch
 // reduction factor (-min-reduction, default 5×), the coalesced-serving
-// throughput ratio (-min-serve-speedup, default 1.5×) and the sharded-
+// throughput ratio (-min-serve-speedup, default 1.5×), the sharded-
 // serving throughput ratio (-min-shard-speedup, default 1.5×, requires a
 // multi-core runner — the shard fan-out has nothing to run on with one
-// CPU, so pass 0 to skip the gate on serial hosts) — the ratios are
-// same-process, same-hardware numbers, so they port across runners even
-// though the absolute req/s numbers do not. Wall-clock ns/op differs across
-// runner hardware, and the Workers>1 variant's B/op moves with GC-driven
-// sync.Pool flushes under concurrency, so both are reported for
-// information only.
+// CPU, so pass 0 to skip the gate on serial hosts) and the hot-node
+// result-cache throughput ratio on the Zipf workload (-min-cache-speedup,
+// default 2×, 0 skips) — the ratios are same-process, same-hardware
+// numbers, so they port across runners even though the absolute req/s
+// numbers do not. Wall-clock ns/op differs across runner hardware, and the
+// Workers>1 variant's B/op moves with GC-driven sync.Pool flushes under
+// concurrency, so both are reported for information only.
 //
 // Usage:
 //
@@ -38,6 +39,7 @@ func main() {
 	minReduction := flag.Float64("min-reduction", 5, "required scratch-vs-dense memory reduction factor")
 	minServeSpeedup := flag.Float64("min-serve-speedup", 1.5, "required coalesced-vs-naive serving throughput ratio")
 	minShardSpeedup := flag.Float64("min-shard-speedup", 1.5, "required sharded-vs-single serving throughput ratio (0 skips, for single-core hosts)")
+	minCacheSpeedup := flag.Float64("min-cache-speedup", 2.0, "required cached-vs-uncached Zipf serving throughput ratio (0 skips)")
 	gateList := flag.String("gate", "infer/distance-multibatch",
 		"comma-separated benchmark names whose B/op is gated")
 	flag.Parse()
@@ -123,6 +125,20 @@ func main() {
 		} else if sh.SpeedupX < *minShardSpeedup {
 			fmt.Printf("benchgate: FAIL — sharded serving speedup %.2fx below required %.2fx\n",
 				sh.SpeedupX, *minShardSpeedup)
+			failed = true
+		}
+	}
+
+	ca := cur.Cache
+	fmt.Printf("\ncache %-34s %10.0f uncached req/s, %10.0f cached req/s (%.2fx, %.0f%% hit rate)\n",
+		ca.Workload, ca.UncachedReqPerSec, ca.CachedReqPerSec, ca.SpeedupX, 100*ca.HitRate)
+	if *minCacheSpeedup > 0 {
+		if ca.UncachedReqPerSec == 0 || ca.CachedReqPerSec == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no cached-serving measurement")
+			failed = true
+		} else if ca.SpeedupX < *minCacheSpeedup {
+			fmt.Printf("benchgate: FAIL — cached serving speedup %.2fx below required %.2fx\n",
+				ca.SpeedupX, *minCacheSpeedup)
 			failed = true
 		}
 	}

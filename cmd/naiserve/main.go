@@ -9,11 +9,17 @@
 // cross-shard router — answers stay bit-identical to the single deployment
 // (see ARCHITECTURE.md, "Sharded serving").
 //
+// With -cache-size N (default 4096 entries; 0 disables) each node's final
+// prediction and realized depth is cached across requests, so hot nodes
+// under skewed traffic skip the inference pipeline entirely; graph deltas
+// invalidate stale entries exactly, keeping answers bit-identical to
+// uncached serving (see ARCHITECTURE.md, "Result cache").
+//
 // Usage:
 //
 //	naiserve -dataset flickr-like -mode distance -ts-quantile 0.3 -addr :8080
 //	naiserve -load model.json -graph serving.graph -max-batch 128 -max-wait 1ms
-//	naiserve -dataset products-like -shards 4
+//	naiserve -dataset products-like -shards 4 -cache-size 65536
 //
 // Endpoints:
 //
@@ -57,6 +63,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max targets per coalesced batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for batch mates")
 	shards := flag.Int("shards", 1, "partition the graph into this many shards (1 = single deployment)")
+	cacheSize := flag.Int("cache-size", 4096, "per-node result-cache capacity in entries (0 disables; delta-aware invalidation keeps answers exact)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max HTTP request body size in bytes")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
@@ -171,8 +178,20 @@ func main() {
 	}
 
 	srv := serve.NewBackend(backend, serve.Config{
-		Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait, MaxBody: *maxBody})
+		Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait, MaxBody: *maxBody,
+		CacheSize: *cacheSize})
 	defer srv.Close()
+	// Report the cache configuration alongside the shard/halo report above:
+	// both describe how much serving state this daemon retains per answer.
+	if *cacheSize > 0 {
+		policy := "NAP mode: any delta flushes (stationary state is global)"
+		if iopt.Mode == core.ModeFixed {
+			policy = fmt.Sprintf("fixed mode: deltas evict the radius-%d dirty ball", iopt.TMax)
+		}
+		fmt.Printf("result cache: %d entries (%s)\n", *cacheSize, policy)
+	} else {
+		fmt.Println("result cache: disabled")
+	}
 	hs := &http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),

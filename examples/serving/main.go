@@ -1,9 +1,11 @@
 // Serving: run the NAI daemon in-process and drive it over HTTP — the
 // cmd/naiserve workflow as a library user would embed it. The example
 // trains a tiny model, starts the internal/serve handler on an ephemeral
-// port, classifies unseen nodes through coalesced /infer calls, grows the
-// graph online with /nodes and /edges (the paper's continuously-arriving
-// unseen nodes), classifies one of the arrivals, and reads /stats.
+// port, classifies unseen nodes through coalesced /infer calls, re-asks
+// for the same hot nodes to show the result cache absorbing repeat
+// traffic, grows the graph online with /nodes and /edges (the paper's
+// continuously-arriving unseen nodes — note the cache invalidations),
+// classifies one of the arrivals, and reads /stats.
 //
 //	go run ./examples/serving
 package main
@@ -42,11 +44,14 @@ func main() {
 	}
 
 	// 2. The daemon: coalesce concurrent requests for up to 2ms / 32
-	// targets, serve NAP_g (gates need no threshold tuning).
+	// targets, serve NAP_g (gates need no threshold tuning), and cache up
+	// to 256 per-node answers across requests (hot nodes skip inference;
+	// deltas invalidate exactly — see ARCHITECTURE.md, "Result cache").
 	srv := serve.New(dep, serve.Config{
-		Opt:      core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K},
-		MaxBatch: 32,
-		MaxWait:  2 * time.Millisecond,
+		Opt:       core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K},
+		MaxBatch:  32,
+		MaxWait:   2 * time.Millisecond,
+		CacheSize: 256,
 	})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -76,6 +81,15 @@ func main() {
 		}(v)
 	}
 	wg.Wait()
+
+	// 3b. The same hot nodes again: every answer now comes from the result
+	// cache — no BFS, no propagation, no classifier GEMM.
+	for _, v := range test[:8] {
+		var out struct {
+			Preds []int `json:"preds"`
+		}
+		postJSON(base+"/infer", map[string]any{"nodes": []int{v}}, &out)
+	}
 
 	// 4. Online graph growth: a new node arrives with its features and two
 	// edges to known neighbors — no retraining, no full refresh.
@@ -116,12 +130,22 @@ func main() {
 		CoalesceRate float64 `json:"coalesce_rate"`
 		P50          float64 `json:"latency_p50_us"`
 		Nodes        int     `json:"nodes"`
+		Cache        *struct {
+			Hits          int64   `json:"hits"`
+			Misses        int64   `json:"misses"`
+			Invalidations int64   `json:"invalidations"`
+			HitRate       float64 `json:"hit_rate"`
+		} `json:"cache"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stats: %d requests in %d Infer calls (%.1fx coalesced), p50 %.0fus, %d nodes\n",
+	fmt.Printf("stats: %d requests in %d Infer calls (%.1fx amortized), p50 %.0fus, %d nodes\n",
 		stats.Requests, stats.InferCalls, stats.CoalesceRate, stats.P50, stats.Nodes)
+	if stats.Cache != nil {
+		fmt.Printf("cache: %d hits / %d misses (%.0f%% hit rate), %d invalidated by the delta\n",
+			stats.Cache.Hits, stats.Cache.Misses, 100*stats.Cache.HitRate, stats.Cache.Invalidations)
+	}
 }
 
 // postJSON posts body and decodes the JSON response into out.

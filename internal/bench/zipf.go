@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ZipfRanks returns count ranks drawn from a Zipf distribution with
+// exponent s over [0, n): rank r is drawn with probability proportional to
+// 1/(r+1)^s, so rank 0 is the hottest. The sequence is a pure function of
+// the seed — benchmarks and race tests share one deterministic skewed
+// workload instead of each rolling their own. Requires s > 1 and n ≥ 1
+// (the skew regimes real serving traffic shows; s ≈ 1.1 matches web-scale
+// request popularity).
+func ZipfRanks(seed int64, s float64, n, count int) []int {
+	if s <= 1 || n < 1 {
+		panic(fmt.Sprintf("bench: Zipf needs s > 1 and n ≥ 1, got s=%v n=%d", s, n))
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// ZipfTargets maps a deterministic Zipf rank stream onto a target universe:
+// draw i asks for universe[rank_i], so universe[0] is the hottest node.
+// This is the shared workload generator of the cached-serving benchmark and
+// the serve package's hot-node tests.
+func ZipfTargets(seed int64, s float64, universe []int, count int) []int {
+	ranks := ZipfRanks(seed, s, len(universe), count)
+	out := make([]int, count)
+	for i, r := range ranks {
+		out[i] = universe[r]
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package bench
+
+import "testing"
+
+// TestZipfDeterministic: the rank stream is a pure function of the seed.
+func TestZipfDeterministic(t *testing.T) {
+	a := ZipfRanks(7, 1.1, 100, 1000)
+	b := ZipfRanks(7, 1.1, 100, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d != %d for the same seed", i, a[i], b[i])
+		}
+	}
+	c := ZipfRanks(8, 1.1, 100, 1000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestZipfDistribution: draws stay in range and are genuinely Zipf-skewed —
+// the hottest rank dominates, and mass decays with rank.
+func TestZipfDistribution(t *testing.T) {
+	const n, count = 100, 200000
+	freq := make([]int, n)
+	for _, r := range ZipfRanks(1, 1.1, n, count) {
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d outside [0,%d)", r, n)
+		}
+		freq[r]++
+	}
+	// Zipf(1.1) over 100 ranks puts >20% of all mass on rank 0.
+	if freq[0] < count/5 {
+		t.Fatalf("rank 0 drew %d of %d (%.1f%%), want a dominant hot rank",
+			freq[0], count, 100*float64(freq[0])/count)
+	}
+	// Mass must decay: each decade of ranks draws less than the previous.
+	sum := func(lo, hi int) int {
+		s := 0
+		for r := lo; r < hi; r++ {
+			s += freq[r]
+		}
+		return s
+	}
+	if !(sum(0, 10) > sum(10, 50) && sum(10, 50) > sum(50, 100)) {
+		t.Fatalf("mass not decaying: [0,10)=%d [10,50)=%d [50,100)=%d",
+			sum(0, 10), sum(10, 50), sum(50, 100))
+	}
+}
+
+// TestZipfTargets: ranks are mapped through the universe, preserving the
+// hottest-first convention.
+func TestZipfTargets(t *testing.T) {
+	universe := []int{42, 7, 99}
+	seq := ZipfTargets(3, 2.0, universe, 5000)
+	counts := map[int]int{}
+	for _, v := range seq {
+		counts[v]++
+	}
+	for v := range counts {
+		if v != 42 && v != 7 && v != 99 {
+			t.Fatalf("target %d outside the universe", v)
+		}
+	}
+	if counts[42] <= counts[99] {
+		t.Fatalf("universe[0]=42 drew %d, tail 99 drew %d — hottest-first broken",
+			counts[42], counts[99])
+	}
+}

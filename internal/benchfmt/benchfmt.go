@@ -80,6 +80,26 @@ type ShardingStats struct {
 	SpeedupX         float64 `json:"speedup_x"`
 }
 
+// CachedServingStats records the hot-node result-cache benchmark: many
+// concurrent clients replaying a deterministic Zipf-skewed target stream
+// against two otherwise identical coalescing servers, one with the result
+// cache and one without. SpeedupX = cached/uncached requests-per-second is
+// the headline number cmd/benchgate gates in CI (≥2× on the multi-core
+// runner); like the other serving ratios it is a same-process,
+// same-hardware number, so it ports across runners. HitRate is the cached
+// server's measured per-target cache hit rate over the run.
+type CachedServingStats struct {
+	Workload          string  `json:"workload"`
+	Clients           int     `json:"clients"`
+	ZipfS             float64 `json:"zipf_s"`
+	DistinctTargets   int     `json:"distinct_targets"`
+	CacheEntries      int     `json:"cache_entries"`
+	UncachedReqPerSec float64 `json:"uncached_req_per_sec"`
+	CachedReqPerSec   float64 `json:"cached_req_per_sec"`
+	SpeedupX          float64 `json:"speedup_x"`
+	HitRate           float64 `json:"hit_rate"`
+}
+
 // File is the full BENCH_infer.json document.
 type File struct {
 	Dataset    string             `json:"dataset"`
@@ -94,6 +114,7 @@ type File struct {
 	Scratch    ScratchStats       `json:"scratch"`
 	Serving    ServingStats       `json:"serving"`
 	Sharding   ShardingStats      `json:"sharding"`
+	Cache      CachedServingStats `json:"cache"`
 }
 
 // Load reads and parses a BENCH_infer.json file.

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGetPutCounters: basic hit/miss accounting and value round-trips.
+func TestGetPutCounters(t *testing.T) {
+	c := New(8) // < 2*numShards → single shard, strict LRU
+	if _, ok := c.Get(5); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put(5, Entry{Pred: 2, Depth: 3})
+	e, ok := c.Get(5)
+	if !ok || e.Pred != 2 || e.Depth != 3 {
+		t.Fatalf("got (%+v,%v), want ({2 3},true)", e, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", st.HitRate)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes %d, want > 0", st.Bytes)
+	}
+}
+
+// TestLRUEviction: a small (single-shard) cache must evict in strict
+// least-recently-used order, where both Get and Put refresh recency.
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for v := 0; v < 3; v++ {
+		c.Put(v, Entry{Pred: int32(v)})
+	}
+	c.Get(0)                 // recency now 0,2,1 (most→least)
+	c.Put(3, Entry{Pred: 3}) // evicts 1
+	if _, ok := c.Get(1); ok {
+		t.Fatal("LRU victim 1 still cached")
+	}
+	for _, v := range []int{0, 2, 3} {
+		if _, ok := c.Get(v); !ok {
+			t.Fatalf("node %d evicted, want kept", v)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats %+v, want 1 eviction / 3 entries", st)
+	}
+}
+
+// TestPutOverwrite: re-putting an existing node must update the entry in
+// place (no growth, no eviction) and refresh its recency.
+func TestPutOverwrite(t *testing.T) {
+	c := New(2)
+	c.Put(1, Entry{Pred: 1})
+	c.Put(2, Entry{Pred: 2})
+	c.Put(1, Entry{Pred: 9}) // overwrite; recency 1,2
+	c.Put(3, Entry{Pred: 3}) // evicts 2
+	if e, ok := c.Get(1); !ok || e.Pred != 9 {
+		t.Fatalf("overwritten entry: (%+v,%v)", e, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("expected 2 evicted after 1 was refreshed")
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 entries / 1 eviction", st)
+	}
+}
+
+// TestInvalidate: targeted invalidation removes exactly the named nodes,
+// counts only present ones, and freed slots are reused by later puts.
+func TestInvalidate(t *testing.T) {
+	c := New(8)
+	for v := 0; v < 4; v++ {
+		c.Put(v, Entry{Pred: int32(v)})
+	}
+	if n := c.Invalidate([]int{1, 3, 99}); n != 2 {
+		t.Fatalf("invalidated %d, want 2 (99 absent)", n)
+	}
+	for _, v := range []int{1, 3} {
+		if _, ok := c.Get(v); ok {
+			t.Fatalf("node %d survived invalidation", v)
+		}
+	}
+	for _, v := range []int{0, 2} {
+		if _, ok := c.Get(v); !ok {
+			t.Fatalf("node %d wrongly invalidated", v)
+		}
+	}
+	c.Put(5, Entry{Pred: 5}) // reuses a freed slot
+	c.Put(6, Entry{Pred: 6})
+	if st := c.Stats(); st.Invalidations != 2 || st.Entries != 4 || st.Evictions != 0 {
+		t.Fatalf("stats %+v, want 2 invalidations / 4 entries / 0 evictions", st)
+	}
+}
+
+// TestFlush: Flush empties the cache, counts every removed entry as an
+// invalidation, and the cache keeps working afterwards.
+func TestFlush(t *testing.T) {
+	c := New(8)
+	for v := 0; v < 5; v++ {
+		c.Put(v, Entry{Pred: int32(v)})
+	}
+	if n := c.Flush(); n != 5 {
+		t.Fatalf("flushed %d, want 5", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len %d after flush", c.Len())
+	}
+	if n := c.Flush(); n != 0 {
+		t.Fatalf("second flush removed %d", n)
+	}
+	c.Put(7, Entry{Pred: 7})
+	if _, ok := c.Get(7); !ok {
+		t.Fatal("cache unusable after flush")
+	}
+	if st := c.Stats(); st.Invalidations != 5 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 5 invalidations / 1 entry", st)
+	}
+}
+
+// TestShardedCapacity: a serving-size cache spreads over multiple lock
+// shards; capacity is rounded up to a shard multiple and eviction stays
+// per-shard (hot nodes on different shards never displace each other).
+func TestShardedCapacity(t *testing.T) {
+	c := New(100)
+	if len(c.shards) != numShards {
+		t.Fatalf("%d shards, want %d", len(c.shards), numShards)
+	}
+	if got := c.Stats().Capacity; got < 100 || got > 100+numShards {
+		t.Fatalf("capacity %d, want 100 rounded up to ≤ %d", got, 100+numShards)
+	}
+	for v := 0; v < 100; v++ {
+		c.Put(v, Entry{Pred: int32(v)})
+	}
+	if c.Len() != 100 {
+		t.Fatalf("len %d, want 100", c.Len())
+	}
+	for v := 0; v < 100; v++ {
+		if _, ok := c.Get(v); !ok {
+			t.Fatalf("node %d missing below capacity", v)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers all operations from many goroutines under
+// -race; correctness here is "no race, no panic, counters consistent".
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v := (w*31 + i) % 200
+				switch i % 4 {
+				case 0:
+					c.Put(v, Entry{Pred: int32(v), Depth: 1})
+				case 1, 2:
+					if e, ok := c.Get(v); ok && e.Pred != int32(v) {
+						t.Errorf("node %d cached wrong value %d", v, e.Pred)
+					}
+				case 3:
+					c.Invalidate([]int{v})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != c.Len() {
+		t.Fatalf("stats entries %d != len %d", st.Entries, c.Len())
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

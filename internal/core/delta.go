@@ -38,8 +38,12 @@ func (d *Deployment) RefreshIncremental(dr *graph.DeltaResult) {
 		panic("core: RefreshIncremental on a deployment with externally supplied state (shard subgraph); its router owns the caches")
 	}
 	if len(dr.Dirty) == 0 && dr.NumNew == 0 {
+		// A no-op delta (duplicate edges, self-loops) changes nothing:
+		// cached answers stay valid and the graph version does not move.
 		return
 	}
+	d.version.Add(1)
+	defer d.invalidateResultCache(dr)
 	// Stationary first: it owns the looped-degree vector the adjacency
 	// patch reads its D̃^{γ−1}/D̃^{−γ} factors from.
 	d.stationary.Update(d.Graph.Adj, d.Graph.Features, dr.Dirty)

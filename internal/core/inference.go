@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/graph"
 	"repro/internal/mat"
 	"repro/internal/sparse"
@@ -158,6 +159,16 @@ type Deployment struct {
 	// sharded bit-identity, so Refresh and RefreshIncremental panic.
 	externalState bool
 
+	// version counts graph mutations (Refresh and every effective delta),
+	// so serving layers can tell whether cached per-node answers were
+	// computed against the current graph. Monotone, never reset.
+	version atomic.Uint64
+
+	// rcache is the optional per-node result cache (EnableResultCache);
+	// rcacheCfg describes its delta-invalidation policy.
+	rcache    *cache.Cache
+	rcacheCfg cache.Config
+
 	scratch sync.Pool // *inferScratch
 }
 
@@ -186,6 +197,13 @@ func (d *Deployment) Refresh() {
 	}
 	d.Adj = sparse.NormalizedAdjacency(d.Graph.Adj, d.Model.Gamma)
 	d.stationary = ComputeStationary(d.Graph.Adj, d.Graph.Features, d.Model.Gamma)
+	// A full rebuild means the caller mutated the graph arbitrarily behind
+	// the deployment's back: bump the version and drop every cached answer
+	// (there is no dirty report to localize the eviction with).
+	d.version.Add(1)
+	if d.rcache != nil {
+		d.rcache.Flush()
+	}
 }
 
 // Stationary returns the cached stationary state X(∞) of the serving graph.

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+// This file is the deployment half of the serving stack's result-cache
+// plumbing (the serve.Backend surface shared with shard.Router): the daemon
+// consults and fills the cache around coalesced flushes, while the
+// deployment owns invalidation, because only it sees every path that
+// mutates the serving graph (ApplyDelta and Refresh).
+
+// EnableResultCache installs a per-node result cache invalidated by this
+// deployment's graph mutations under cfg's policy, replacing any previous
+// cache; cfg.Entries ≤ 0 removes caching. Not safe concurrently with Infer
+// or ApplyDelta — install the cache before serving starts (internal/serve
+// does it at construction).
+func (d *Deployment) EnableResultCache(cfg cache.Config) {
+	if cfg.Entries <= 0 {
+		d.rcache = nil
+		return
+	}
+	d.rcache = cache.New(cfg.Entries)
+	d.rcacheCfg = cfg
+}
+
+// CacheGet consults the result cache; ok is false when caching is disabled
+// or the node is not cached.
+func (d *Deployment) CacheGet(node int) (cache.Entry, bool) {
+	if d.rcache == nil {
+		return cache.Entry{}, false
+	}
+	return d.rcache.Get(node)
+}
+
+// CachePut records node's answer in the result cache (no-op when caching
+// is disabled). Callers must hold the same lock regime as Infer so a fill
+// cannot interleave with a delta's invalidation (internal/serve fills
+// under its read lock, deltas run under the write lock).
+func (d *Deployment) CachePut(node int, e cache.Entry) {
+	if d.rcache == nil {
+		return
+	}
+	d.rcache.Put(node, e)
+}
+
+// CacheStats snapshots the result cache's counters; ok is false when
+// caching is disabled.
+func (d *Deployment) CacheStats() (cache.Stats, bool) {
+	if d.rcache == nil {
+		return cache.Stats{}, false
+	}
+	return d.rcache.Stats(), true
+}
+
+// Version reports the deployment's monotone graph version: it starts at 1
+// (NewDeployment's initial Refresh) and grows with every Refresh and every
+// effective ApplyDelta. A cached answer is valid exactly as long as the
+// version it was computed under is current; the serving daemon surfaces it
+// in /stats. Deployments with externally supplied state (shard subgraphs)
+// stay at 0 — their router versions the global graph instead.
+func (d *Deployment) Version() uint64 { return d.version.Load() }
+
+// invalidateResultCache applies the delta-aware eviction policy after the
+// serving graph absorbed dr (callers ensure dr changed something):
+//
+//   - Local answers (ModeFixed) depend only on the radius-TMax supporting
+//     ball, and a delta only changes adjacency values within one hop of its
+//     dirty rows, so a reverse-BFS of radius Radius from the dirty rows —
+//     over the merged graph, so new edges are traversed — covers every node
+//     whose answer could have changed. Exactly that ball is evicted.
+//   - Non-local answers (NAP distance/gate) also compare against the
+//     stationary state X(∞), whose rank-1 decomposition couples every node
+//     to the global edge/node mass (Scale = 1/(2m+n) and the shared
+//     weighted feature sum), so any effective delta shifts every node's
+//     decision threshold and the whole cache is flushed.
+//
+// The policy is pinned by internal/serve's equivalence tests, including a
+// regression test showing a remote delta flipping a NAP decision outside
+// the dirty ball — the reason the ball eviction alone would be wrong.
+func (d *Deployment) invalidateResultCache(dr *graph.DeltaResult) {
+	if d.rcache == nil {
+		return
+	}
+	if !d.rcacheCfg.Local {
+		d.rcache.Flush()
+		return
+	}
+	d.rcache.Invalidate(graph.Ball(d.Graph.Adj, dr.Dirty, d.rcacheCfg.Radius))
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 )
 
@@ -107,6 +108,17 @@ func (c *coalescer) flush(batch []*pending) {
 
 	c.graphMu.RLock()
 	res, err := c.srv.backend.Infer(all, opt)
+	if err == nil && c.srv.cached {
+		// Fill the result cache under the same read lock as the Infer call:
+		// a delta (write lock) can then never slip between compute and fill,
+		// so a fill can never resurrect an answer the delta invalidated.
+		for i, v := range all {
+			c.srv.backend.CachePut(v, cache.Entry{
+				Pred:  int32(res.Pred[i]),
+				Depth: int32(res.Depths[i]),
+			})
+		}
+	}
 	c.graphMu.RUnlock()
 
 	for _, p := range batch {

@@ -1,9 +1,19 @@
 // Package serve turns an inference backend — a single core.Deployment or a
 // sharded shard.Router — into a long-lived serving daemon: an HTTP JSON
-// front-end with request coalescing and online graph deltas.
+// front-end with a result cache, request coalescing and online graph
+// deltas.
 //
-// Three mechanisms make the daemon production-shaped (see ARCHITECTURE.md
+// Four mechanisms make the daemon production-shaped (see ARCHITECTURE.md
 // for the end-to-end picture):
+//
+//   - Result caching: with Config.CacheSize > 0 each target's final
+//     prediction and realized depth is cached per node (internal/cache),
+//     consulted before the coalescer and filled after each flush. Real
+//     traffic is Zipf-skewed, so hot nodes skip BFS, extraction,
+//     propagation and classification entirely; answers stay bit-identical
+//     because Infer is batch-invariant and deltas invalidate stale entries
+//     exactly (the backend's delta-aware eviction, see the invalidation
+//     contract in ARCHITECTURE.md).
 //
 //   - Coalescing: concurrent single-node requests are micro-batched into one
 //     Infer call (up to Config.MaxBatch targets, waiting at most
@@ -19,20 +29,23 @@
 //     and stays bit-identical to a full Refresh.
 //
 //   - Observability: /stats reports request/latency percentiles, MAC
-//     totals, retained scratch bytes and the measured coalescing
-//     efficiency; /healthz is a cheap liveness probe.
+//     totals, retained scratch bytes, cache hit/eviction counters and the
+//     measured coalescing efficiency; /healthz is a cheap liveness probe.
 //
-// Concurrency contract: inference (coalesced flushes) runs under the read
+// Concurrency contract: inference (coalesced flushes) and cache traffic
+// (lookups before the coalescer, fills after a flush) run under the read
 // lock — any number in flight, matching Deployment.Infer's thread safety —
 // while graph deltas hold the write lock, giving them the exclusive access
-// Refresh/ApplyDelta require. Everything else (stats, pending queues) has
-// its own internal locks.
+// Refresh/ApplyDelta and cache invalidation require. Everything else
+// (stats, pending queues, the cache's internal lock shards) has its own
+// internal locks.
 package serve
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -64,6 +77,13 @@ type Config struct {
 	// unbounded read. ≤0 defaults to 8 MiB — roomy for feature-row appends,
 	// small enough that a hostile client cannot balloon the daemon's heap.
 	MaxBody int64
+	// CacheSize is the per-node result cache's capacity in entries; ≤0
+	// disables caching (the default — hot-node reuse is an opt-in because
+	// it retains answers across requests). The invalidation policy is
+	// derived from Opt: radius-TMax ball eviction for ModeFixed, full flush
+	// on effective deltas for the NAP modes (whose decisions consult the
+	// globally coupled stationary state).
+	CacheSize int
 }
 
 // DefaultMaxBody is the request-body cap applied when Config.MaxBody ≤ 0.
@@ -100,6 +120,25 @@ type Backend interface {
 	// ScratchBytes reports the retained pooled-scratch footprint (the
 	// /stats memory gauge).
 	ScratchBytes() int
+	// Version reports the backend's monotone graph version: bumped by
+	// every effective mutation, so cached answers can be attributed to the
+	// graph state they were computed against (surfaced in /stats).
+	Version() uint64
+	// EnableResultCache installs the backend's per-node result cache
+	// (cfg.Entries ≤ 0 removes it). The backend owns invalidation: its
+	// ApplyDelta evicts stale entries under cfg's policy — the shard router
+	// routes the eviction to the owning shard's cache. Call before serving
+	// starts; NewBackend does it from Config.CacheSize.
+	EnableResultCache(cfg cache.Config)
+	// CacheGet consults the result cache (ok=false when disabled or
+	// absent); CachePut records one answer and must be called under the
+	// same read-lock regime as Infer so fills cannot interleave with a
+	// delta's invalidation.
+	CacheGet(node int) (cache.Entry, bool)
+	CachePut(node int, e cache.Entry)
+	// CacheStats snapshots the cache counters; ok=false when caching is
+	// disabled.
+	CacheStats() (cache.Stats, bool)
 }
 
 // Server is the serving daemon's state: one backend, one coalescer, one
@@ -113,6 +152,9 @@ type Server struct {
 	co      *coalescer
 	stats   *tracker
 	start   time.Time
+	// cached mirrors Config.CacheSize > 0: Classify consults the backend's
+	// result cache before the coalescer and flushes fill it.
+	cached bool
 }
 
 // New wraps a single deployment. The deployment must not be mutated behind
@@ -130,15 +172,31 @@ func NewBackend(b Backend, cfg Config) *Server {
 		cfg:     cfg,
 		stats:   newTracker(cfg.LatencyWindow),
 		start:   time.Now(),
+		cached:  cfg.CacheSize > 0,
 	}
+	// Configure unconditionally: Entries ≤ 0 removes any cache a previous
+	// server left installed on this backend. ModeFixed answers have strictly
+	// local support, so the radius-TMax ball eviction is exact; NAP answers
+	// consult the global stationary state, so the backend flushes on every
+	// effective delta instead.
+	b.EnableResultCache(cache.Config{
+		Entries: cfg.CacheSize,
+		Radius:  cfg.Opt.TMax,
+		Local:   cfg.Opt.Mode == core.ModeFixed,
+	})
 	s.co = newCoalescer(s)
 	return s
 }
 
-// Classify answers one request for the given target nodes, coalescing it
-// with concurrent requests into a shared Infer batch. It blocks until the
-// batch containing the request flushes and returns the request's own
-// predictions and personalized depths, in target order.
+// Classify answers one request for the given target nodes: cached targets
+// are answered from the result cache, the rest coalesce with concurrent
+// requests into a shared Infer batch. It blocks until the batch containing
+// the request's misses flushes and returns the request's own predictions
+// and personalized depths, in target order. Answers are bit-identical to
+// uncached serving (Infer is batch-invariant and deltas invalidate stale
+// entries); during a concurrent delta each target's answer is individually
+// exact for some instant within the call — the same per-target guarantee
+// coalescing already gives requests that straddle a delta.
 func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 	if len(targets) == 0 {
 		return nil, nil, nil
@@ -147,19 +205,54 @@ func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 	// Validate ids against the current graph before queueing: Infer indexes
 	// the adjacency directly, so an out-of-range id must be rejected here.
 	// Deltas only append, so an id valid now stays valid at flush time.
+	// Cache lookups share the read lock so a lookup cannot interleave with
+	// an in-progress invalidation.
 	s.co.graphMu.RLock()
 	n := s.backend.NumNodes()
-	s.co.graphMu.RUnlock()
 	for _, v := range targets {
 		if v < 0 || v >= n {
+			s.co.graphMu.RUnlock()
 			return nil, nil, fmt.Errorf("serve: node %d outside [0,%d)", v, n)
 		}
 	}
-	p := s.co.submit(targets)
+	var miss, missPos []int
+	if s.cached {
+		preds = make([]int, len(targets))
+		depths = make([]int, len(targets))
+		for i, v := range targets {
+			if e, ok := s.backend.CacheGet(v); ok {
+				preds[i], depths[i] = int(e.Pred), int(e.Depth)
+			} else {
+				miss = append(miss, v)
+				missPos = append(missPos, i)
+			}
+		}
+	}
+	s.co.graphMu.RUnlock()
+
+	if s.cached && len(miss) == 0 {
+		// Fully served from cache: the request never touches the coalescer.
+		s.stats.countCached()
+		s.stats.observe(time.Since(start))
+		return preds, depths, nil
+	}
+	if !s.cached {
+		miss, missPos = targets, nil
+	}
+	p := s.co.submit(miss)
 	if p.err != nil {
 		return nil, nil, p.err
 	}
-	preds, depths = p.res.Window(p.lo, p.lo+len(targets))
+	mp, md := p.res.Window(p.lo, p.lo+len(miss))
+	if missPos == nil {
+		// Uncached (or all-miss without positions): the batch window is the
+		// whole answer.
+		preds, depths = mp, md
+	} else {
+		for k, i := range missPos {
+			preds[i], depths[i] = mp[k], md[k]
+		}
+	}
 	s.stats.observe(time.Since(start))
 	return preds, depths, nil
 }

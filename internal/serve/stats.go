@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -14,13 +15,17 @@ import (
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
-	// Graph shape (after any deltas).
-	Nodes int `json:"nodes"`
-	Edges int `json:"edges"`
+	// Graph shape (after any deltas) and the backend's monotone graph
+	// version (1 = as deployed, +1 per effective delta).
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+	GraphVersion uint64 `json:"graph_version"`
 
-	// Request accounting. CoalesceRate = Requests/InferCalls is the
-	// amortization factor the coalescer achieved; AvgBatchTargets is the
-	// mean number of targets one Infer served.
+	// Request accounting. Requests counts every Classify call, including
+	// ones answered entirely from the result cache; Targets and InferCalls
+	// cover only the inference path, so CoalesceRate = Requests/InferCalls
+	// is the overall amortization factor (coalescing × caching) and
+	// AvgBatchTargets the mean number of targets one Infer served.
 	Requests        int64   `json:"requests"`
 	Targets         int64   `json:"targets"`
 	InferCalls      int64   `json:"infer_calls"`
@@ -45,12 +50,27 @@ type Stats struct {
 	// ScratchBytes is the retained capacity of one pooled inference
 	// scratch, the per-in-flight-batch memory footprint.
 	ScratchBytes int `json:"scratch_bytes"`
+
+	// Cache reports the result cache's counters; absent (null) when
+	// caching is disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats is the /stats "cache" block: the backend cache's own counters
+// (hits, misses, evictions, invalidations, entries, bytes, hit rate) plus
+// the server-level count of requests that never touched the coalescer.
+type CacheStats struct {
+	cache.Stats
+	// FullyCachedRequests counts Classify calls whose every target hit the
+	// cache (per-target hits on partially cached requests show up in Hits).
+	FullyCachedRequests int64 `json:"fully_cached_requests"`
 }
 
 // tracker accumulates the counters behind /stats.
 type tracker struct {
 	mu         sync.Mutex
 	requests   int64
+	cachedReqs int64
 	targets    int64
 	inferCalls int64
 	deltas     int64
@@ -86,6 +106,15 @@ func (t *tracker) countFlush(requests, targets int, res *core.Result) {
 	t.mu.Unlock()
 }
 
+// countCached records a request answered entirely from the result cache
+// (it counts as a request but never reaches the inference path).
+func (t *tracker) countCached() {
+	t.mu.Lock()
+	t.requests++
+	t.cachedReqs++
+	t.mu.Unlock()
+}
+
 func (t *tracker) countDelta(dr *graph.DeltaResult) {
 	t.mu.Lock()
 	t.deltas++
@@ -108,6 +137,7 @@ func (s *Server) Stats() Stats {
 		EdgesDirty:    t.rowsDirty,
 		MACs:          t.macs,
 	}
+	cachedReqs := t.cachedReqs
 	window := t.lat[:t.next]
 	if t.full {
 		window = t.lat
@@ -131,7 +161,11 @@ func (s *Server) Stats() Stats {
 	s.co.graphMu.RLock()
 	st.Nodes = s.backend.NumNodes()
 	st.Edges = s.backend.NumEdges()
+	st.GraphVersion = s.backend.Version()
 	st.ScratchBytes = s.backend.ScratchBytes()
+	if cs, ok := s.backend.CacheStats(); ok {
+		st.Cache = &CacheStats{Stats: cs, FullyCachedRequests: cachedReqs}
+	}
 	s.co.graphMu.RUnlock()
 	return st
 }

@@ -41,6 +41,13 @@ func (r *Router) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
 			return nil, err
 		}
 	}
+	if len(dr.Dirty) > 0 || dr.NumNew > 0 {
+		// Effective change: bump the graph version and evict stale cached
+		// answers (a no-op delta — duplicates and self-loops only — leaves
+		// both untouched, matching core.Deployment.RefreshIncremental).
+		r.version.Add(1)
+		r.invalidateResultCaches(dr)
+	}
 	return dr, nil
 }
 

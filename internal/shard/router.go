@@ -2,7 +2,9 @@ package shard
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -45,6 +47,9 @@ type shardRuntime struct {
 	// st is dep's stationary view (kept here because the Router re-syncs
 	// its Scale/SumMACs/LoopedDeg after every delta).
 	st *core.Stationary
+	// rcache is this shard's slice of the result cache: answers for the
+	// nodes the shard owns, keyed by global id (EnableResultCache).
+	rcache *cache.Cache
 }
 
 // Router fronts a set of per-shard deployments with the same Infer /
@@ -66,6 +71,14 @@ type Router struct {
 	// placement of unattached arrivals.
 	ownedCount []int
 	shards     []*shardRuntime
+
+	// version counts applied deltas (monotone, part of the serve.Backend
+	// surface shared with core.Deployment).
+	version atomic.Uint64
+	// rcacheCfg is the per-shard result caches' invalidation policy; the
+	// caches themselves live on the shard runtimes (EnableResultCache).
+	rcacheCfg cache.Config
+	cached    bool
 }
 
 // NewRouter partitions g into cfg.Shards shards and builds the per-shard
@@ -101,6 +114,7 @@ func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignme
 		ownedCount: make([]int, asg.P),
 		shards:     make([]*shardRuntime, asg.P),
 	}
+	r.version.Store(1) // fresh build = version 1, matching core.Deployment
 	for p := 0; p < asg.P; p++ {
 		r.ownedCount[p] = len(asg.Owned[p])
 		s, err := buildShard(m, g, st, asg.Owned[p], radius)
@@ -247,6 +261,105 @@ func (r *Router) ScratchBytes() int {
 		total += s.dep.ScratchBytes()
 	}
 	return total
+}
+
+// Version reports the router's monotone graph version: 1 for a fresh
+// build, +1 per effective ApplyDelta (part of the serve.Backend surface
+// shared with core.Deployment).
+func (r *Router) Version() uint64 { return r.version.Load() }
+
+// EnableResultCache installs one result cache per shard, each holding
+// answers for the nodes that shard owns (total capacity split evenly), so
+// cache traffic scales out with the partition exactly like inference does.
+// The router routes lookups, fills and invalidations by ownership;
+// cfg.Entries ≤ 0 removes caching. Like the rest of the partition state,
+// install before serving starts and never concurrently with Infer or
+// ApplyDelta.
+func (r *Router) EnableResultCache(cfg cache.Config) {
+	if cfg.Entries <= 0 {
+		for _, s := range r.shards {
+			s.rcache = nil
+		}
+		r.cached = false
+		return
+	}
+	per := (cfg.Entries + len(r.shards) - 1) / len(r.shards)
+	for _, s := range r.shards {
+		s.rcache = cache.New(per)
+	}
+	r.rcacheCfg = cfg
+	r.cached = true
+}
+
+// CacheGet consults the owning shard's result cache; ok is false when
+// caching is disabled, the id is out of range, or the node is not cached.
+func (r *Router) CacheGet(node int) (cache.Entry, bool) {
+	if !r.cached || node < 0 || node >= len(r.owner) {
+		return cache.Entry{}, false
+	}
+	return r.shards[r.owner[node]].rcache.Get(node)
+}
+
+// CachePut records node's answer in its owning shard's cache (no-op when
+// caching is disabled). Like Deployment.CachePut, fills must run under the
+// serving read lock so they cannot interleave with a delta's invalidation.
+func (r *Router) CachePut(node int, e cache.Entry) {
+	if !r.cached || node < 0 || node >= len(r.owner) {
+		return
+	}
+	r.shards[r.owner[node]].rcache.Put(node, e)
+}
+
+// CacheStats sums the per-shard cache counters; ok is false when caching
+// is disabled.
+func (r *Router) CacheStats() (cache.Stats, bool) {
+	if !r.cached {
+		return cache.Stats{}, false
+	}
+	var st cache.Stats
+	for _, s := range r.shards {
+		ss := s.rcache.Stats()
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
+		st.Invalidations += ss.Invalidations
+		st.Entries += ss.Entries
+		st.Capacity += ss.Capacity
+		st.Bytes += ss.Bytes
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st, true
+}
+
+// invalidateResultCaches routes a delta's cache eviction by ownership,
+// mirroring core.Deployment.invalidateResultCache's policy: non-local (NAP)
+// answers flush every shard's cache — the stationary state couples them to
+// the global edge mass — while local (ModeFixed) answers evict exactly the
+// radius-Radius ball around the dirty rows, computed once on the merged
+// global graph and bucketed to each ball node's owning shard.
+func (r *Router) invalidateResultCaches(dr *graph.DeltaResult) {
+	if !r.cached {
+		return
+	}
+	if !r.rcacheCfg.Local {
+		for _, s := range r.shards {
+			s.rcache.Flush()
+		}
+		return
+	}
+	ball := graph.Ball(r.global.Adj, dr.Dirty, r.rcacheCfg.Radius)
+	buckets := make([][]int, len(r.shards))
+	for _, v := range ball {
+		p := r.owner[v]
+		buckets[p] = append(buckets[p], v)
+	}
+	for p, s := range r.shards {
+		if len(buckets[p]) > 0 {
+			s.rcache.Invalidate(buckets[p])
+		}
+	}
 }
 
 // ShardSize describes one shard's subgraph for observability: how many
