@@ -9,11 +9,12 @@
 // throughput ratio (-min-serve-speedup, default 1.5×), the sharded-
 // serving throughput ratio (-min-shard-speedup, default 1.5×, requires a
 // multi-core runner — the shard fan-out has nothing to run on with one
-// CPU, so pass 0 to skip the gate on serial hosts) and the hot-node
+// CPU, so pass 0 to skip the gate on serial hosts), the hot-node
 // result-cache throughput ratio on the Zipf workload (-min-cache-speedup,
-// default 2×, 0 skips) — the ratios are same-process, same-hardware
-// numbers, so they port across runners even though the absolute req/s
-// numbers do not. Wall-clock ns/op differs across runner hardware, and the
+// default 2×, 0 skips) and the overload goodput ratio at 4× saturation
+// (-min-overload-goodput, default 0.7, 0 skips) — the ratios are
+// same-process, same-hardware numbers, so they port across runners even
+// though the absolute req/s numbers do not. Wall-clock ns/op differs across runner hardware, and the
 // Workers>1 variant's B/op moves with GC-driven sync.Pool flushes under
 // concurrency, so both are reported for information only.
 //
@@ -40,6 +41,7 @@ func main() {
 	minServeSpeedup := flag.Float64("min-serve-speedup", 1.5, "required coalesced-vs-naive serving throughput ratio")
 	minShardSpeedup := flag.Float64("min-shard-speedup", 1.5, "required sharded-vs-single serving throughput ratio (0 skips, for single-core hosts)")
 	minCacheSpeedup := flag.Float64("min-cache-speedup", 2.0, "required cached-vs-uncached Zipf serving throughput ratio (0 skips)")
+	minOverloadGoodput := flag.Float64("min-overload-goodput", 0.7, "required 4x-vs-1x saturation goodput ratio (0 skips)")
 	gateList := flag.String("gate", "infer/distance-multibatch",
 		"comma-separated benchmark names whose B/op is gated")
 	flag.Parse()
@@ -139,6 +141,20 @@ func main() {
 		} else if ca.SpeedupX < *minCacheSpeedup {
 			fmt.Printf("benchgate: FAIL — cached serving speedup %.2fx below required %.2fx\n",
 				ca.SpeedupX, *minCacheSpeedup)
+			failed = true
+		}
+	}
+
+	ov := cur.Overload
+	fmt.Printf("\noverload %-31s %10.0f goodput@1x req/s, %10.0f goodput@4x req/s (ratio %.2f, p99@4x %dus, rejected %d)\n",
+		ov.Workload, ov.Goodput1x, ov.Goodput4x, ov.GoodputRatio, ov.P99At4xUs, ov.Rejected4x)
+	if *minOverloadGoodput > 0 {
+		if ov.Goodput1x == 0 || ov.Goodput4x == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no overload measurement")
+			failed = true
+		} else if ov.GoodputRatio < *minOverloadGoodput {
+			fmt.Printf("benchgate: FAIL — 4x saturation goodput ratio %.2f below required %.2f\n",
+				ov.GoodputRatio, *minOverloadGoodput)
 			failed = true
 		}
 	}

@@ -31,6 +31,7 @@ var exportedDocPackages = map[string]bool{
 	"internal/core":   true,
 	"internal/serve":  true,
 	"internal/shard":  true,
+	"internal/qos":    true,
 	"internal/cache":  true,
 	"internal/mat":    true,
 	"internal/par":    true,

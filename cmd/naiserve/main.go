@@ -15,11 +15,23 @@
 // invalidate stale entries exactly, keeping answers bit-identical to
 // uncached serving (see ARCHITECTURE.md, "Result cache").
 //
+// Overload control (see ARCHITECTURE.md, "Overload control"): -max-pending
+// bounds queued+in-flight targets — beyond it requests get an immediate
+// 429 with a Retry-After instead of parking (0 disables). -default-deadline
+// is the per-request deadline when the client sends no X-Deadline-Ms
+// header; client deadlines are clamped to -max-deadline. -tenant-quotas
+// gives each X-Tenant its own token-bucket rate and a weighted-fair share
+// of the admission budget ("tenant=rate[:burst[:weight]]", "*" sets the
+// default). -shed-mode keeps the daemon answering under sustained
+// overload: cache hits and fixed-depth requests are served, adaptive
+// cache misses are shed with 429 until the pressure clears.
+//
 // Usage:
 //
 //	naiserve -dataset flickr-like -mode distance -ts-quantile 0.3 -addr :8080
 //	naiserve -load model.json -graph serving.graph -max-batch 128 -max-wait 1ms
 //	naiserve -dataset products-like -shards 4 -cache-size 65536
+//	naiserve -max-pending 8192 -default-deadline 500ms -tenant-quotas 'paid=1000::4,*=100' -shed-mode
 //
 // Endpoints:
 //
@@ -44,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mat"
+	"repro/internal/qos"
 	"repro/internal/scalable"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -65,11 +78,23 @@ func main() {
 	shards := flag.Int("shards", 1, "partition the graph into this many shards (1 = single deployment)")
 	cacheSize := flag.Int("cache-size", 4096, "per-node result-cache capacity in entries (0 disables; delta-aware invalidation keeps answers exact)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max HTTP request body size in bytes")
+	maxPending := flag.Int("max-pending", 4096, "admission budget: max targets queued+in-flight before 429s (0 disables)")
+	defaultDeadline := flag.Duration("default-deadline", 2*time.Second, "per-request deadline when the client sends no X-Deadline-Ms (0 disables)")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap on client-requested X-Deadline-Ms deadlines (0 = no cap)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant quotas, e.g. 'free=100:200,paid=1000:2000:4,*=50' (tenant=rate[:burst[:weight]]; empty admits all)")
+	shedMode := flag.Bool("shed-mode", false, "degraded mode: when overloaded, serve cache hits and fixed-depth work, shed adaptive cache misses with 429")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	quick := flag.Bool("quick", true, "shrink dataset and training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	// Quotas are parsed before any training happens: a typo in the spec
+	// should fail the launch, not a request hours later.
+	quotas, err := qos.ParseQuotas(*tenantQuotas)
+	if err != nil {
+		fail(err)
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -78,10 +103,9 @@ func main() {
 	cfg.Seed = *seed
 
 	var (
-		g   *graph.Graph
-		ds  *synth.Dataset
-		m   *core.Model
-		err error
+		g  *graph.Graph
+		ds *synth.Dataset
+		m  *core.Model
 	)
 	if *load != "" {
 		if m, err = core.LoadModelFile(*load); err != nil {
@@ -179,8 +203,12 @@ func main() {
 
 	srv := serve.NewBackend(backend, serve.Config{
 		Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait, MaxBody: *maxBody,
-		CacheSize: *cacheSize})
+		CacheSize:  *cacheSize,
+		MaxPending: *maxPending, DefaultDeadline: *defaultDeadline,
+		MaxDeadline: *maxDeadline, Quotas: quotas, Shed: *shedMode})
 	defer srv.Close()
+	fmt.Printf("overload control: max-pending=%d, default-deadline=%v, max-deadline=%v, quotas=%s, shed=%v\n",
+		*maxPending, *defaultDeadline, *maxDeadline, orNone(*tenantQuotas), *shedMode)
 	// Report the cache configuration alongside the shard/halo report above:
 	// both describe how much serving state this daemon retains per answer.
 	if *cacheSize > 0 {
@@ -230,6 +258,13 @@ func tuneThreshold(dep *core.Deployment, ds *synth.Dataset, q float64) float64 {
 	}
 	idx := int(q * float64(len(d)-1))
 	return d[idx]
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
 }
 
 func fail(err error) {

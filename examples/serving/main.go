@@ -5,7 +5,10 @@
 // for the same hot nodes to show the result cache absorbing repeat
 // traffic, grows the graph online with /nodes and /edges (the paper's
 // continuously-arriving unseen nodes — note the cache invalidations),
-// classifies one of the arrivals, and reads /stats.
+// classifies one of the arrivals, shows the overload layer rejecting an
+// over-quota tenant with 429 + Retry-After (requests carry X-Tenant and
+// X-Deadline-Ms headers — see ARCHITECTURE.md, "Overload control"), and
+// reads /stats.
 //
 //	go run ./examples/serving
 package main
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/qos"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
@@ -47,11 +51,21 @@ func main() {
 	// targets, serve NAP_g (gates need no threshold tuning), and cache up
 	// to 256 per-node answers across requests (hot nodes skip inference;
 	// deltas invalidate exactly — see ARCHITECTURE.md, "Result cache").
+	// The overload layer bounds accepted work at 1024 targets, defaults
+	// every request to a 2s deadline, and gives the "burst" tenant a
+	// 2-request bucket refilling at 1 req/s — enough to watch a 429 happen.
+	quotas, err := qos.ParseQuotas("burst=1:2")
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := serve.New(dep, serve.Config{
-		Opt:       core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K},
-		MaxBatch:  32,
-		MaxWait:   2 * time.Millisecond,
-		CacheSize: 256,
+		Opt:             core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K},
+		MaxBatch:        32,
+		MaxWait:         2 * time.Millisecond,
+		CacheSize:       256,
+		MaxPending:      1024,
+		DefaultDeadline: 2 * time.Second,
+		Quotas:          quotas,
 	})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -89,6 +103,21 @@ func main() {
 			Preds []int `json:"preds"`
 		}
 		postJSON(base+"/infer", map[string]any{"nodes": []int{v}}, &out)
+	}
+
+	// 3c. Overload control from the client's side: requests declare who
+	// they are (X-Tenant) and how long they can wait (X-Deadline-Ms). The
+	// "burst" tenant's token bucket admits two requests, then the third is
+	// rejected with 429 and a Retry-After hint — load shedding the client
+	// can tell apart from brokenness.
+	for i := 1; i <= 3; i++ {
+		status, retry := postTenant(base+"/infer",
+			map[string]any{"nodes": []int{test[0]}}, "burst", 500)
+		if status == http.StatusOK {
+			fmt.Printf("  tenant burst, request %d → 200 OK\n", i)
+		} else {
+			fmt.Printf("  tenant burst, request %d → %d (Retry-After %ss)\n", i, status, retry)
+		}
 	}
 
 	// 4. Online graph growth: a new node arrives with its features and two
@@ -130,6 +159,10 @@ func main() {
 		CoalesceRate float64 `json:"coalesce_rate"`
 		P50          float64 `json:"latency_p50_us"`
 		Nodes        int     `json:"nodes"`
+		Rejected     int64   `json:"rejected"`
+		Pending      int     `json:"pending_targets"`
+		MaxPending   int     `json:"max_pending"`
+		Degraded     bool    `json:"degraded"`
 		Cache        *struct {
 			Hits          int64   `json:"hits"`
 			Misses        int64   `json:"misses"`
@@ -146,6 +179,31 @@ func main() {
 		fmt.Printf("cache: %d hits / %d misses (%.0f%% hit rate), %d invalidated by the delta\n",
 			stats.Cache.Hits, stats.Cache.Misses, 100*stats.Cache.HitRate, stats.Cache.Invalidations)
 	}
+	fmt.Printf("overload: %d rejected, %d/%d pending targets, degraded=%v\n",
+		stats.Rejected, stats.Pending, stats.MaxPending, stats.Degraded)
+}
+
+// postTenant posts body with X-Tenant and X-Deadline-Ms headers set and
+// returns the status code plus any Retry-After hint — 429s are an expected
+// outcome here, not an error.
+func postTenant(url string, body any, tenant string, deadlineMs int) (status int, retryAfter string) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	req.Header.Set("X-Deadline-Ms", fmt.Sprint(deadlineMs))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Retry-After")
 }
 
 // postJSON posts body and decodes the JSON response into out.

@@ -100,6 +100,32 @@ type CachedServingStats struct {
 	HitRate           float64 `json:"hit_rate"`
 }
 
+// OverloadStats records the saturation benchmark behind the overload-
+// control layer: the server's closed-loop capacity is calibrated first,
+// then an open-loop arrival process offers 1× and 4× that rate against a
+// bounded admission budget. Goodput is successfully served requests per
+// second; the p99 covers only admitted requests (rejections are
+// microsecond-cheap 429s and would only flatter the tail). GoodputRatio =
+// goodput(4×)/goodput(1×) is the collapse detector cmd/benchgate gates in
+// CI: without admission control, 4× saturation drives goodput toward zero
+// as every request queues and times out; with it, goodput must hold ≥0.7×
+// of the 1× level. Same-process, same-hardware ratio — portable across
+// runners.
+type OverloadStats struct {
+	Workload          string  `json:"workload"`
+	MaxPending        int     `json:"max_pending"`
+	DefaultDeadlineMs int64   `json:"default_deadline_ms"`
+	CapacityReqPerSec float64 `json:"capacity_req_per_sec"`
+	Offered1x         float64 `json:"offered_1x_req_per_sec"`
+	Goodput1x         float64 `json:"goodput_1x_req_per_sec"`
+	P99At1xUs         int64   `json:"p99_1x_us"`
+	Offered4x         float64 `json:"offered_4x_req_per_sec"`
+	Goodput4x         float64 `json:"goodput_4x_req_per_sec"`
+	P99At4xUs         int64   `json:"p99_4x_us"`
+	Rejected4x        int64   `json:"rejected_4x"`
+	GoodputRatio      float64 `json:"goodput_ratio"`
+}
+
 // File is the full BENCH_infer.json document.
 type File struct {
 	Dataset    string             `json:"dataset"`
@@ -115,6 +141,7 @@ type File struct {
 	Serving    ServingStats       `json:"serving"`
 	Sharding   ShardingStats      `json:"sharding"`
 	Cache      CachedServingStats `json:"cache"`
+	Overload   OverloadStats      `json:"overload"`
 }
 
 // Load reads and parses a BENCH_infer.json file.

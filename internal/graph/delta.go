@@ -40,6 +40,20 @@ func (d Delta) Clone() Delta {
 	return out
 }
 
+// ValidationError marks a delta rejected for being malformed — wrong
+// feature width, label out of range, edge endpoint outside the (grown) id
+// space. It lets callers (the HTTP layer) distinguish a client's bad
+// request from an internal failure: ApplyDelta validates before mutating,
+// so a ValidationError also guarantees the graph is unchanged.
+type ValidationError struct{ msg string }
+
+// Error returns the validation message.
+func (e *ValidationError) Error() string { return e.msg }
+
+func validationf(format string, args ...any) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
 // DeltaResult reports what ApplyDelta changed, in the shape the incremental
 // refresh paths consume.
 type DeltaResult struct {
@@ -65,22 +79,22 @@ func (g *Graph) ApplyDelta(d Delta) (*DeltaResult, error) {
 		k = d.Features.Rows
 	}
 	if k > 0 && d.Features.Cols != g.F() {
-		return nil, fmt.Errorf("graph: delta feature dim %d != graph %d", d.Features.Cols, g.F())
+		return nil, validationf("graph: delta feature dim %d != graph %d", d.Features.Cols, g.F())
 	}
 	if len(d.Labels) != k {
-		return nil, fmt.Errorf("graph: %d delta labels for %d new nodes", len(d.Labels), k)
+		return nil, validationf("graph: %d delta labels for %d new nodes", len(d.Labels), k)
 	}
 	for i, y := range d.Labels {
 		if y < 0 || y >= g.NumClasses {
-			return nil, fmt.Errorf("graph: delta label %d of new node %d outside [0,%d)", y, i, g.NumClasses)
+			return nil, validationf("graph: delta label %d of new node %d outside [0,%d)", y, i, g.NumClasses)
 		}
 	}
 	if len(d.Src) != len(d.Dst) {
-		return nil, fmt.Errorf("graph: %d delta sources for %d destinations", len(d.Src), len(d.Dst))
+		return nil, validationf("graph: %d delta sources for %d destinations", len(d.Src), len(d.Dst))
 	}
 	for i := range d.Src {
 		if u, v := d.Src[i], d.Dst[i]; u < 0 || u >= n+k || v < 0 || v >= n+k {
-			return nil, fmt.Errorf("graph: delta edge (%d,%d) outside [0,%d)", u, v, n+k)
+			return nil, validationf("graph: delta edge (%d,%d) outside [0,%d)", u, v, n+k)
 		}
 	}
 

@@ -1,16 +1,29 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/mat"
 )
 
 // The wire types of the JSON API. Every error response is
-// {"error": "..."} with a 4xx status; handlers are method-strict.
+// {"error": "..."} with the status httpStatus assigns: client mistakes are
+// 4xx (400 validation, 413 oversized, 429 overload with Retry-After, 499
+// client gone), server conditions are 5xx (500 backend failure, 503
+// shutting down, 504 deadline); handlers are method-strict.
+//
+// Two request headers feed overload control: X-Tenant attributes the call
+// to a tenant for quota/fairness accounting, and X-Deadline-Ms asks for a
+// per-request deadline (clamped to Config.MaxDeadline; the server's
+// DefaultDeadline applies when the header is absent).
 
 // InferRequest asks for predictions on existing node ids.
 type InferRequest struct {
@@ -87,9 +100,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// decodePost enforces POST, caps the body at Config.MaxBody (oversized or
-// malformed payloads get a 400, never an unbounded read or a hang), and
-// parses the body into v.
+// writeStatusError maps err to its HTTP status via httpStatus and writes
+// it; 429s carry a Retry-After header (seconds, rounded up, at least 1) so
+// well-behaved clients back off instead of hammering a full budget.
+func writeStatusError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	if status == http.StatusTooManyRequests {
+		secs := int64(math.Ceil(retryAfter(err).Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, status, err)
+}
+
+// decodePost enforces POST, caps the body at Config.MaxBody (oversized
+// payloads get a 413, malformed ones a 400, never an unbounded read or a
+// hang), and parses the body into v.
 func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
@@ -98,10 +126,38 @@ func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, v any) bool 
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) {
+			writeStatusError(w, err) // 413
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
 		return false
 	}
 	return true
+}
+
+// requestContext derives the inference context for one HTTP request: the
+// request's own context (client disconnects cancel the wait) tightened by
+// the X-Deadline-Ms header when present, clamped to Config.MaxDeadline.
+// ok=false means the header was malformed (the 400 has been written).
+func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, ok bool) {
+	ctx = r.Context()
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return ctx, func() {}, true
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad X-Deadline-Ms %q: want a positive integer", h))
+		return nil, nil, false
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if s.cfg.MaxDeadline > 0 && d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel = context.WithTimeout(ctx, d)
+	return ctx, cancel, true
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -113,9 +169,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty node list"))
 		return
 	}
-	preds, depths, err := s.Classify(req.Nodes)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	preds, depths, err := s.ClassifyContext(ctx, req.Nodes, r.Header.Get("X-Tenant"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeStatusError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, InferResponse{Preds: preds, Depths: depths})
@@ -151,7 +212,9 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	}
 	dr, err := s.ApplyDelta(d)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// graph.ValidationError → 400 (the delta was malformed); anything
+		// else is an internal failure → 500.
+		writeStatusError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, NodesResponse{FirstID: dr.FirstNew, Count: dr.NumNew, Dirty: len(dr.Dirty)})
@@ -173,7 +236,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	dr, err := s.ApplyDelta(d)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeStatusError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EdgesResponse{Dirty: len(dr.Dirty)})

@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/qos"
+)
+
+// flakyBackend wraps a real backend to inject the failure modes the
+// overload tests need: a forced Infer error (the 500 path), a forced
+// ApplyDelta error (the delta 500 path), and an Infer delay (so a caller's
+// deadline can expire mid-flush).
+type flakyBackend struct {
+	Backend
+	inferErr error
+	deltaErr error
+	delay    time.Duration
+}
+
+func (f *flakyBackend) Infer(targets []int, opt core.InferenceOptions) (*core.Result, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.inferErr != nil {
+		return nil, f.inferErr
+	}
+	return f.Backend.Infer(targets, opt)
+}
+
+func (f *flakyBackend) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
+	if f.deltaErr != nil {
+		return nil, f.deltaErr
+	}
+	return f.Backend.ApplyDelta(d)
+}
+
+// newWrappedServer is newTestServer with a backend-wrapping hook.
+func newWrappedServer(t *testing.T, cfg Config, wrap func(Backend) Backend) *Server {
+	t.Helper()
+	ds, m := fixture(t)
+	dep, err := core.NewDeployment(m, ds.Graph.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Opt.TMax == 0 {
+		cfg.Opt = core.InferenceOptions{Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: m.K}
+	}
+	var b Backend = dep
+	if wrap != nil {
+		b = wrap(b)
+	}
+	s := NewBackend(b, cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func mustQuotas(t *testing.T, spec string) *qos.Quotas {
+	t.Helper()
+	q, err := qos.ParseQuotas(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// post issues one POST with optional headers and returns the response.
+func post(t *testing.T, ts *httptest.Server, path, body string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPStatusCodes pins the wire-level error taxonomy: each failure mode
+// must map to its own status instead of the blanket 400 the daemon used to
+// return — validation 400, oversized 413, quota 429 (+Retry-After), backend
+// failure 500, shutdown 503, deadline 504.
+func TestHTTPStatusCodes(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  Config
+		wrap func(Backend) Backend
+		pre  func(t *testing.T, s *Server, ts *httptest.Server)
+		path string
+		body string
+		hdr  map[string]string
+		want int
+		// retry requires a Retry-After header on the response.
+		retry bool
+	}{
+		{
+			name: "validation is 400",
+			path: "/infer", body: `{"nodes":[999999]}`,
+			want: http.StatusBadRequest,
+		},
+		{
+			name: "delta validation is 400",
+			path: "/edges", body: `{"edges":[[0,999999]]}`,
+			want: http.StatusBadRequest,
+		},
+		{
+			name: "bad deadline header is 400",
+			path: "/infer", body: `{"nodes":[0]}`,
+			hdr:  map[string]string{"X-Deadline-Ms": "soon"},
+			want: http.StatusBadRequest,
+		},
+		{
+			name: "oversized body is 413",
+			cfg:  Config{MaxWait: time.Millisecond, MaxBody: 64},
+			path: "/infer", body: `{"nodes":[` + strings.Repeat("0,", 100) + `0]}`,
+			want: http.StatusRequestEntityTooLarge,
+		},
+		{
+			name: "exhausted tenant quota is 429",
+			cfg:  Config{MaxWait: time.Millisecond},
+			pre: func(t *testing.T, s *Server, ts *httptest.Server) {
+				// One request burns the single-token burst; rate 0.001/s
+				// leaves the bucket empty for the test's lifetime.
+				s.cfg.Quotas = mustQuotas(t, "*=0.001:1")
+				resp := post(t, ts, "/infer", `{"nodes":[0]}`, nil)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("quota warm-up: status %d", resp.StatusCode)
+				}
+			},
+			path: "/infer", body: `{"nodes":[1]}`,
+			want: http.StatusTooManyRequests, retry: true,
+		},
+		{
+			name: "backend failure is 500",
+			cfg:  Config{MaxWait: time.Millisecond},
+			wrap: func(b Backend) Backend {
+				return &flakyBackend{Backend: b, inferErr: fmt.Errorf("propagation kernel wedged")}
+			},
+			path: "/infer", body: `{"nodes":[0]}`,
+			want: http.StatusInternalServerError,
+		},
+		{
+			name: "delta backend failure is 500",
+			wrap: func(b Backend) Backend {
+				return &flakyBackend{Backend: b, deltaErr: fmt.Errorf("refresh failed")}
+			},
+			path: "/edges", body: `{"edges":[[0,1]]}`,
+			want: http.StatusInternalServerError,
+		},
+		{
+			name: "post-shutdown submit is 503",
+			cfg:  Config{MaxWait: time.Millisecond},
+			pre:  func(t *testing.T, s *Server, ts *httptest.Server) { s.Close() },
+			path: "/infer", body: `{"nodes":[0]}`,
+			want: http.StatusServiceUnavailable,
+		},
+		{
+			name: "expired deadline is 504",
+			cfg:  Config{MaxWait: time.Millisecond},
+			wrap: func(b Backend) Backend {
+				// Infer outlives the caller's 50ms deadline by far; the
+				// flush starts (1ms window) before the deadline, so the
+				// caller abandons mid-flight.
+				return &flakyBackend{Backend: b, delay: 400 * time.Millisecond}
+			},
+			path: "/infer", body: `{"nodes":[0]}`,
+			hdr:  map[string]string{"X-Deadline-Ms": "50"},
+			want: http.StatusGatewayTimeout,
+		},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			s := newWrappedServer(t, c.cfg, c.wrap)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			if c.pre != nil {
+				c.pre(t, s, ts)
+			}
+			resp := post(t, ts, c.path, c.body, c.hdr)
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, c.want, body)
+			}
+			if c.retry && resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("429 without Retry-After header")
+			}
+		})
+	}
+}
+
+// TestStatusMapping pins httpStatus for the errors that never cross the
+// HTTP test harness cleanly (a client that hung up cannot read its 499).
+func TestStatusMapping(t *testing.T) {
+	for _, c := range []struct {
+		err  error
+		want int
+	}{
+		{ErrOverloaded, http.StatusTooManyRequests},
+		{ErrQuota, http.StatusTooManyRequests},
+		{ErrShed, http.StatusTooManyRequests},
+		{&retryableError{err: ErrOverloaded, retry: time.Second}, http.StatusTooManyRequests},
+		{ErrShuttingDown, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, StatusClientClosedRequest},
+		{badRequestf("node 9 outside range"), http.StatusBadRequest},
+		{fmt.Errorf("disk on fire"), http.StatusInternalServerError},
+	} {
+		if got := httpStatus(c.err); got != c.want {
+			t.Errorf("httpStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	if r := retryAfter(&retryableError{err: ErrQuota, retry: 3 * time.Second}); r != 3*time.Second {
+		t.Errorf("retryAfter = %v, want 3s", r)
+	}
+}
+
+// TestAdmissionFastReject: with the budget full, a new request must be
+// rejected immediately with ErrOverloaded — microseconds, not a parked
+// goroutine waiting out the window timer — and the rejection must show up
+// in /stats (rejected counter, pending_targets gauge).
+func TestAdmissionFastReject(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxPending: 2, MaxBatch: 1 << 20, MaxWait: time.Hour})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Fills the 2-target budget and parks in the hour-long window.
+		if _, _, err := s.Classify([]int{0, 1}); err != nil {
+			t.Errorf("budget-filling request failed: %v", err)
+		}
+	}()
+	for s.co.budget.Pending() != 2 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	start := time.Now()
+	_, _, err := s.Classify([]int{2})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full-budget Classify: err %v, want ErrOverloaded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("reject took %v, want microseconds", elapsed)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.PendingTargets != 2 || st.MaxPending != 2 {
+		t.Fatalf("stats after reject: %+v", st)
+	}
+
+	// Close drains the window: the parked caller completes with a real
+	// answer, and the budget returns to empty.
+	s.Close()
+	wg.Wait()
+	if got := s.co.budget.Pending(); got != 0 {
+		t.Fatalf("budget not drained after close: %d", got)
+	}
+}
+
+// TestDeadlineEarlyFlush: a waiter whose deadline minus the expected flush
+// cost lands before the window's MaxWait must pull the flush forward — the
+// request completes inside its deadline instead of waiting out the (hour-
+// long) window and expiring.
+func TestDeadlineEarlyFlush(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 1 << 20, MaxWait: time.Hour})
+	// Seed the flush-cost estimate so the early-flush margin is visible.
+	s.co.detector.ObserveFlush(200 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	preds, _, err := s.ClassifyContext(ctx, []int{0}, "")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("deadline-bearing request failed after %v: %v", elapsed, err)
+	}
+	if len(preds) != 1 {
+		t.Fatalf("bad answer %v", preds)
+	}
+	// Fire time is deadline − EWMA = 800ms: well after an immediate flush,
+	// well before the deadline or the hour-long window.
+	if elapsed < 400*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("flush at %v, want ≈800ms (deadline − expected flush cost)", elapsed)
+	}
+}
+
+// TestExpiredCallerDropped: a caller whose context dies before its flush
+// starts gets its context error immediately, and its targets never occupy
+// Infer batch slots — the flush serves only the live callers.
+func TestExpiredCallerDropped(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 1 << 20, MaxWait: 50 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead on arrival: queued, then dropped at flush time
+	if _, _, err := s.ClassifyContext(ctx, []int{0}, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller: err %v, want context.Canceled", err)
+	}
+
+	// A live caller in the same window gets served; the dead caller's
+	// target must not be in the flushed batch.
+	preds, _, err := s.Classify([]int{1})
+	if err != nil || len(preds) != 1 {
+		t.Fatalf("live caller: %v", err)
+	}
+	st := s.Stats()
+	if st.Targets != 1 || st.Requests != 1 {
+		t.Fatalf("dropped caller still occupied batch slots: %+v", st)
+	}
+	if st.DeadlineExceeded != 1 {
+		t.Fatalf("deadline_exceeded = %d, want 1", st.DeadlineExceeded)
+	}
+	if got := s.co.budget.Pending(); got != 0 {
+		t.Fatalf("dropped caller leaked budget: %d", got)
+	}
+}
+
+// TestShutdownDrain: Close must flush the open window — in-flight callers
+// complete with real answers, no goroutine stays parked on the window
+// timer — and every subsequent submit is refused with ErrShuttingDown.
+func TestShutdownDrain(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 1 << 20, MaxWait: time.Hour})
+
+	type answer struct {
+		preds []int
+		err   error
+	}
+	got := make(chan answer, 1)
+	go func() {
+		preds, _, err := s.Classify([]int{3})
+		got <- answer{preds, err}
+	}()
+	for s.co.budget.Pending() != 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	s.Close()
+	select {
+	case a := <-got:
+		if a.err != nil || len(a.preds) != 1 {
+			t.Fatalf("in-flight caller after Close: %v %v", a.preds, a.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close left the in-flight caller parked on the window timer")
+	}
+
+	s.co.mu.Lock()
+	timer := s.co.timer
+	s.co.mu.Unlock()
+	if timer != nil {
+		t.Fatal("Close left the window timer armed")
+	}
+
+	if _, _, err := s.Classify([]int{4}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown Classify: err %v, want ErrShuttingDown", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp := post(t, ts, "/infer", `{"nodes":[0]}`, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown HTTP status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDegradedModeShed: with Shed enabled and the detector tripped, cache
+// hits keep being served while un-cached NAP misses are shed with ErrShed;
+// clearing the detector restores full service, and the transitions are
+// visible in /stats.
+func TestDegradedModeShed(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		MaxWait: time.Millisecond, CacheSize: 64,
+		DefaultDeadline: 5 * time.Second, Shed: true,
+	})
+
+	// Warm the cache for node 0 while healthy.
+	if _, _, err := s.Classify([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip the latency loop: one 30s flush observation sends the EWMA far
+	// past the 5s trip wire (the detector re-evaluates on observe).
+	s.co.detector.ObserveFlush(30 * time.Second)
+	if !s.co.detector.Degraded() {
+		t.Fatal("detector did not trip on flush latency")
+	}
+
+	if _, _, err := s.Classify([]int{0}); err != nil {
+		t.Fatalf("degraded mode refused a cache hit: %v", err)
+	}
+	if _, _, err := s.Classify([]int{1}); !errors.Is(err, ErrShed) {
+		t.Fatalf("degraded NAP miss: err %v, want ErrShed", err)
+	}
+	st := s.Stats()
+	if st.Shed != 1 || !st.Degraded || st.DegradedTransitions != 1 {
+		t.Fatalf("degraded stats: %+v", st)
+	}
+
+	// Fast flushes decay the EWMA below the clear threshold (hysteresis:
+	// trip/2) and service resumes.
+	for i := 0; i < 64 && s.co.detector.Degraded(); i++ {
+		s.co.detector.ObserveFlush(time.Millisecond)
+	}
+	if s.co.detector.Degraded() {
+		t.Fatal("detector never cleared")
+	}
+	if _, _, err := s.Classify([]int{1}); err != nil {
+		t.Fatalf("post-recovery miss: %v", err)
+	}
+	if st := s.Stats(); st.DegradedTransitions != 2 {
+		t.Fatalf("transitions = %d, want 2 (trip + clear)", st.DegradedTransitions)
+	}
+}
+
+// TestDegradedModeFixedServes: ModeFixed answers have strictly local
+// support (the cheap path), so degraded mode must keep serving them even
+// on cache misses.
+func TestDegradedModeFixedServes(t *testing.T) {
+	_, m := fixture(t)
+	s := newWrappedServer(t, Config{
+		Opt:     core.InferenceOptions{Mode: core.ModeFixed, TMin: 1, TMax: m.K},
+		MaxWait: time.Millisecond, CacheSize: 64,
+		DefaultDeadline: 5 * time.Second, Shed: true,
+	}, nil)
+
+	s.co.detector.ObserveFlush(30 * time.Second)
+	if !s.co.detector.Degraded() {
+		t.Fatal("detector did not trip")
+	}
+	if _, _, err := s.Classify([]int{2}); err != nil {
+		t.Fatalf("degraded ModeFixed miss was shed: %v", err)
+	}
+	if st := s.Stats(); st.Shed != 0 {
+		t.Fatalf("ModeFixed work shed: %+v", st)
+	}
+}
+
+// TestInferErrorAccounted: an errored flush must not vanish from /stats —
+// its calls and targets stay on the books with infer_errors marking the
+// failure, and the admission budget drains back to zero.
+func TestInferErrorAccounted(t *testing.T) {
+	s := newWrappedServer(t, Config{MaxWait: time.Millisecond, MaxPending: 64},
+		func(b Backend) Backend {
+			return &flakyBackend{Backend: b, inferErr: fmt.Errorf("kernel fault")}
+		})
+	_, _, err := s.Classify([]int{0, 1})
+	if err == nil || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want the backend's Infer error", err)
+	}
+	st := s.Stats()
+	if st.InferErrors != 1 || st.InferCalls != 1 || st.Requests != 1 || st.Targets != 2 {
+		t.Fatalf("errored flush vanished from stats: %+v", st)
+	}
+	if st.PendingTargets != 0 {
+		t.Fatalf("errored flush leaked budget: %+v", st)
+	}
+}
+
+// TestQoSEquivalence: with the whole overload-control stack enabled —
+// admission budget, default deadline, tenant quotas, shedding (untripped),
+// result cache — answers must stay bit-identical to direct Infer calls,
+// cached and uncached alike.
+func TestQoSEquivalence(t *testing.T) {
+	s, dep := newTestServer(t, Config{
+		MaxBatch: 8, MaxWait: 2 * time.Millisecond,
+		MaxPending: 1 << 16, DefaultDeadline: time.Minute,
+		Quotas: mustQuotas(t, "*=100000,probe=100000:100000:2"),
+		Shed:   true, CacheSize: 4096,
+	})
+	ds, _ := fixture(t)
+	targets := ds.Split.Test
+
+	want, err := dep.Infer(targets, core.InferenceOptions{
+		Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: fixModel.K})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ { // round 2 is fully cache-served
+		var wg sync.WaitGroup
+		errs := make(chan error, len(targets))
+		for i, v := range targets {
+			wg.Add(1)
+			go func(i, v int) {
+				defer wg.Done()
+				tenant := ""
+				if i%2 == 0 {
+					tenant = "probe"
+				}
+				preds, depths, err := s.ClassifyContext(context.Background(), []int{v}, tenant)
+				if err != nil {
+					errs <- fmt.Errorf("target %d: %v", v, err)
+					return
+				}
+				if preds[0] != want.Pred[i] || depths[0] != want.Depths[i] {
+					errs <- fmt.Errorf("round %d target %d: got (%d,%d), want (%d,%d)",
+						round, v, preds[0], depths[0], want.Pred[i], want.Depths[i])
+				}
+			}(i, v)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+	if st := s.Stats(); st.Rejected != 0 || st.Shed != 0 || st.DeadlineExceeded != 0 {
+		t.Fatalf("QoS-on equivalence run tripped overload control: %+v", st)
+	}
+}

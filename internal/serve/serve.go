@@ -42,12 +42,13 @@
 package serve
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/qos"
 )
 
 // Config parametrizes the daemon.
@@ -84,6 +85,40 @@ type Config struct {
 	// on effective deltas for the NAP modes (whose decisions consult the
 	// globally coupled stationary state).
 	CacheSize int
+	// MaxPending is the admission budget: the total number of targets that
+	// may be queued in the coalescing window or in flight in a flush at
+	// once. When the budget is full, new requests are rejected immediately
+	// with ErrOverloaded (HTTP 429 + Retry-After) — a reject costs
+	// microseconds, never an Infer — instead of parking unboundedly. ≤0
+	// disables admission control (the pending_targets gauge still tracks
+	// occupancy). Under pressure (budget more than half full) a tenant is
+	// clamped to its weighted fair share of the budget, so one hot tenant
+	// cannot starve the window (see internal/qos.FairBudget).
+	MaxPending int
+	// DefaultDeadline is the per-request deadline applied when the caller
+	// supplies none (no context deadline, no X-Deadline-Ms header); 0
+	// means no default. Deadlines drive early window flushes (flush when
+	// the oldest waiter's remaining budget drops below the EWMA flush
+	// cost) and the overload detector's latency trip wire.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the deadline a client may request via the
+	// X-Deadline-Ms header (tighter requests are honored, looser ones are
+	// clamped); 0 means no cap. Library callers passing their own context
+	// deadline are not clamped — they already own their context.
+	MaxDeadline time.Duration
+	// Quotas holds per-tenant token-bucket rate limits and fairness
+	// weights (requests are attributed by the X-Tenant header, or the
+	// tenant argument of ClassifyContext). nil admits everything at weight
+	// 1. Build one with qos.ParseQuotas.
+	Quotas *qos.Quotas
+	// Shed enables degraded mode: when the overload detector trips
+	// (pending work ≥90% of MaxPending, or the flush-latency EWMA exceeds
+	// DefaultDeadline), requests that would need a fresh NAP inference are
+	// rejected with ErrShed (429) while cache hits — and, in ModeFixed,
+	// all requests (strictly local support, the cheap path) — keep being
+	// served. The detector clears with hysteresis (≤50% of the budget)
+	// and the transition is visible in /stats.
+	Shed bool
 }
 
 // DefaultMaxBody is the request-body cap applied when Config.MaxBody ≤ 0.
@@ -188,20 +223,51 @@ func NewBackend(b Backend, cfg Config) *Server {
 	return s
 }
 
-// Classify answers one request for the given target nodes: cached targets
-// are answered from the result cache, the rest coalesce with concurrent
-// requests into a shared Infer batch. It blocks until the batch containing
-// the request's misses flushes and returns the request's own predictions
-// and personalized depths, in target order. Answers are bit-identical to
-// uncached serving (Infer is batch-invariant and deltas invalidate stale
-// entries); during a concurrent delta each target's answer is individually
-// exact for some instant within the call — the same per-target guarantee
-// coalescing already gives requests that straddle a delta.
+// Classify answers one request for the given target nodes with no
+// deadline, tenant attribution or cancellation — ClassifyContext with a
+// background context. See ClassifyContext for the full contract.
 func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
+	return s.ClassifyContext(context.Background(), targets, "")
+}
+
+// ClassifyContext answers one request for the given target nodes under the
+// caller's context and tenant identity: cached targets are answered from
+// the result cache, the rest coalesce with concurrent requests into a
+// shared Infer batch. It blocks until the batch containing the request's
+// misses flushes — or the context is done, whichever comes first — and
+// returns the request's own predictions and personalized depths, in target
+// order. Answers are bit-identical to uncached serving (Infer is
+// batch-invariant and deltas invalidate stale entries); during a
+// concurrent delta each target's answer is individually exact for some
+// instant within the call — the same per-target guarantee coalescing
+// already gives requests that straddle a delta.
+//
+// Overload control can refuse the request before any inference happens:
+// ErrQuota when the tenant's token bucket is empty, ErrOverloaded when the
+// admission budget (Config.MaxPending) is full or the tenant is over its
+// fair share of it, ErrShed when degraded mode is shedding un-cached NAP
+// work, ErrShuttingDown after Close. A context that expires before the
+// flush starts returns the context's error and the request's targets never
+// occupy Infer batch slots. Config.DefaultDeadline, when set, bounds
+// requests whose context carries no deadline of its own.
+func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant string) (preds, depths []int, err error) {
 	if len(targets) == 0 {
 		return nil, nil, nil
 	}
 	start := time.Now()
+	// Tenant quota first: it is the cheapest check and a tenant over its
+	// rate limit should not even get cache reads.
+	if ok, retry := s.cfg.Quotas.AllowAt(start, tenant, 1); !ok {
+		s.stats.countRejected()
+		return nil, nil, &retryableError{err: ErrQuota, retry: retry}
+	}
+	if s.cfg.DefaultDeadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+			defer cancel()
+		}
+	}
 	// Validate ids against the current graph before queueing: Infer indexes
 	// the adjacency directly, so an out-of-range id must be rejected here.
 	// Deltas only append, so an id valid now stays valid at flush time.
@@ -212,7 +278,7 @@ func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 	for _, v := range targets {
 		if v < 0 || v >= n {
 			s.co.graphMu.RUnlock()
-			return nil, nil, fmt.Errorf("serve: node %d outside [0,%d)", v, n)
+			return nil, nil, badRequestf("serve: node %d outside [0,%d)", v, n)
 		}
 	}
 	var miss, missPos []int
@@ -239,9 +305,18 @@ func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 	if !s.cached {
 		miss, missPos = targets, nil
 	}
-	p := s.co.submit(miss)
-	if p.err != nil {
-		return nil, nil, p.err
+	// Degraded mode: cache hits were already answered above and ModeFixed
+	// misses have strictly local support (the cheap path NAP makes
+	// distinguishable), so only un-cached NAP work is shed.
+	if s.cfg.Shed && s.cfg.Opt.Mode != core.ModeFixed && s.co.detector.Degraded() {
+		s.stats.countShed()
+		return nil, nil, ErrShed
+	}
+	deadline, _ := ctx.Deadline()
+	p := &pending{targets: miss, tenant: tenant, ctx: ctx, deadline: deadline,
+		done: make(chan struct{})}
+	if err := s.co.submit(p); err != nil {
+		return nil, nil, err
 	}
 	mp, md := p.res.Window(p.lo, p.lo+len(miss))
 	if missPos == nil {
@@ -271,7 +346,8 @@ func (s *Server) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
 	return dr, nil
 }
 
-// Close flushes any pending window and stops its timer. In-flight Classify
-// calls complete; new ones would start a fresh window, so stop producers
-// first.
+// Close drains the coalescer: the open window flushes (in-flight Classify
+// calls complete with real answers) and its timer stops, and every
+// subsequent submit is rejected with ErrShuttingDown (HTTP 503) instead of
+// being flushed through a closing server.
 func (s *Server) Close() { s.co.close() }

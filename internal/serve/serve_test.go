@@ -364,7 +364,7 @@ func nodesReq(t *testing.T, s *Server, features [][]float64, labels []int, edges
 }
 
 // TestHTTPMaxBody: payloads beyond Config.MaxBody must be rejected with a
-// 400 — not read to completion, not a hang, not a 500 — and the server must
+// 413 — not read to completion, not a hang, not a 500 — and the server must
 // keep serving normal requests afterwards.
 func TestHTTPMaxBody(t *testing.T) {
 	s, _ := newTestServer(t, Config{MaxWait: time.Millisecond, MaxBody: 512})
@@ -374,14 +374,14 @@ func TestHTTPMaxBody(t *testing.T) {
 	big := InferRequest{Nodes: make([]int, 4096)} // ~8KiB of JSON
 	resp := postJSON(t, ts, "/infer", big)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized /infer: status %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /infer: status %d, want 413", resp.StatusCode)
 	}
 	huge := NodesRequest{Features: [][]float64{make([]float64, 8192)}, Labels: []int{0}}
 	resp = postJSON(t, ts, "/nodes", huge)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized /nodes: status %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /nodes: status %d, want 413", resp.StatusCode)
 	}
 
 	resp = postJSON(t, ts, "/infer", InferRequest{Nodes: []int{0, 1}})

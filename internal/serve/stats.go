@@ -32,6 +32,28 @@ type Stats struct {
 	CoalesceRate    float64 `json:"coalesce_rate"`
 	AvgBatchTargets float64 `json:"avg_batch_targets"`
 
+	// Overload-control accounting. InferErrors counts flushes whose Infer
+	// failed (their calls and targets stay in InferCalls/Targets, so
+	// errored work no longer vanishes from the books); Rejected counts
+	// admission-budget and tenant-quota 429s, Shed the degraded-mode 429s,
+	// DeadlineExceeded the callers dropped because their deadline or
+	// context expired before their flush started. PendingTargets is the
+	// current queued + in-flight occupancy of the admission budget
+	// (capacity MaxPending; 0 capacity = unbounded), Degraded the overload
+	// detector's current state and DegradedTransitions its flip count
+	// (flapping shows up here). FlushEWMAUs is the expected-flush-cost
+	// estimate the deadline-aware early flush subtracts from the oldest
+	// waiter's remaining budget.
+	InferErrors         int64 `json:"infer_errors"`
+	Rejected            int64 `json:"rejected"`
+	Shed                int64 `json:"shed"`
+	DeadlineExceeded    int64 `json:"deadline_exceeded"`
+	PendingTargets      int   `json:"pending_targets"`
+	MaxPending          int   `json:"max_pending"`
+	Degraded            bool  `json:"degraded"`
+	DegradedTransitions int64 `json:"degraded_transitions"`
+	FlushEWMAUs         int64 `json:"flush_ewma_us"`
+
 	// Graph mutation accounting.
 	Deltas     int64 `json:"deltas"`
 	NodesAdded int64 `json:"nodes_added"`
@@ -68,15 +90,19 @@ type CacheStats struct {
 
 // tracker accumulates the counters behind /stats.
 type tracker struct {
-	mu         sync.Mutex
-	requests   int64
-	cachedReqs int64
-	targets    int64
-	inferCalls int64
-	deltas     int64
-	nodesAdded int64
-	rowsDirty  int64
-	macs       core.MACBreakdown
+	mu          sync.Mutex
+	requests    int64
+	cachedReqs  int64
+	targets     int64
+	inferCalls  int64
+	inferErrors int64
+	rejected    int64
+	shed        int64
+	deadlines   int64
+	deltas      int64
+	nodesAdded  int64
+	rowsDirty   int64
+	macs        core.MACBreakdown
 
 	lat  []time.Duration // latency ring
 	next int
@@ -106,6 +132,40 @@ func (t *tracker) countFlush(requests, targets int, res *core.Result) {
 	t.mu.Unlock()
 }
 
+// countFlushError records a flush whose Infer failed: the call and its
+// targets still count (the work was attempted), and infer_errors marks it
+// so errored flushes no longer vanish from /stats.
+func (t *tracker) countFlushError(requests, targets int) {
+	t.mu.Lock()
+	t.requests += int64(requests)
+	t.targets += int64(targets)
+	t.inferCalls++
+	t.inferErrors++
+	t.mu.Unlock()
+}
+
+// countRejected records one admission-budget or tenant-quota 429.
+func (t *tracker) countRejected() {
+	t.mu.Lock()
+	t.rejected++
+	t.mu.Unlock()
+}
+
+// countShed records one degraded-mode 429.
+func (t *tracker) countShed() {
+	t.mu.Lock()
+	t.shed++
+	t.mu.Unlock()
+}
+
+// countDeadlineExceeded records a caller dropped from its batch because
+// its deadline or context expired before the flush started.
+func (t *tracker) countDeadlineExceeded() {
+	t.mu.Lock()
+	t.deadlines++
+	t.mu.Unlock()
+}
+
 // countCached records a request answered entirely from the result cache
 // (it counts as a request but never reaches the inference path).
 func (t *tracker) countCached() {
@@ -128,14 +188,18 @@ func (s *Server) Stats() Stats {
 	t := s.stats
 	t.mu.Lock()
 	st := Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      t.requests,
-		Targets:       t.targets,
-		InferCalls:    t.inferCalls,
-		Deltas:        t.deltas,
-		NodesAdded:    t.nodesAdded,
-		EdgesDirty:    t.rowsDirty,
-		MACs:          t.macs,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         t.requests,
+		Targets:          t.targets,
+		InferCalls:       t.inferCalls,
+		InferErrors:      t.inferErrors,
+		Rejected:         t.rejected,
+		Shed:             t.shed,
+		DeadlineExceeded: t.deadlines,
+		Deltas:           t.deltas,
+		NodesAdded:       t.nodesAdded,
+		EdgesDirty:       t.rowsDirty,
+		MACs:             t.macs,
 	}
 	cachedReqs := t.cachedReqs
 	window := t.lat[:t.next]
@@ -157,6 +221,15 @@ func (s *Server) Stats() Stats {
 		}
 		st.LatencyP50us, st.LatencyP90us, st.LatencyP99us = pct(0.50), pct(0.90), pct(0.99)
 	}
+
+	st.PendingTargets = s.co.budget.Pending()
+	st.MaxPending = s.co.budget.Capacity()
+	// Refresh the depth signal before reading: an idle server whose queue
+	// drained should report Degraded=false even if nothing submitted since.
+	s.co.detector.Update(st.PendingTargets, st.MaxPending)
+	st.Degraded = s.co.detector.Degraded()
+	st.DegradedTransitions = s.co.detector.Transitions()
+	st.FlushEWMAUs = s.co.detector.FlushEWMA().Microseconds()
 
 	s.co.graphMu.RLock()
 	st.Nodes = s.backend.NumNodes()
