@@ -20,11 +20,13 @@
 // 429 with a Retry-After instead of parking (0 disables). -default-deadline
 // is the per-request deadline when the client sends no X-Deadline-Ms
 // header; client deadlines are clamped to -max-deadline. -tenant-quotas
-// gives each X-Tenant its own token-bucket rate and a weighted-fair share
-// of the admission budget ("tenant=rate[:burst[:weight]]", "*" sets the
-// default). -shed-mode keeps the daemon answering under sustained
-// overload: cache hits and fixed-depth requests are served, adaptive
-// cache misses are shed with 429 until the pressure clears.
+// gives each X-Tenant its own token-bucket rate (in targets/second — one
+// token per requested node) and a weighted-fair share of the admission
+// budget ("tenant=rate[:burst[:weight]]", "*" sets the default).
+// -shed-mode keeps the daemon answering under sustained overload: cache
+// hits and fixed-depth requests are served, adaptive cache misses are
+// shed with 429 — except one probe per interval, whose flush lets the
+// overload detector see the pressure clear.
 //
 // Usage:
 //
@@ -81,7 +83,7 @@ func main() {
 	maxPending := flag.Int("max-pending", 4096, "admission budget: max targets queued+in-flight before 429s (0 disables)")
 	defaultDeadline := flag.Duration("default-deadline", 2*time.Second, "per-request deadline when the client sends no X-Deadline-Ms (0 disables)")
 	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap on client-requested X-Deadline-Ms deadlines (0 = no cap)")
-	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant quotas, e.g. 'free=100:200,paid=1000:2000:4,*=50' (tenant=rate[:burst[:weight]]; empty admits all)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant quotas in targets/sec, e.g. 'free=100:200,paid=1000:2000:4,*=50' (tenant=rate[:burst[:weight]]; empty admits all)")
 	shedMode := flag.Bool("shed-mode", false, "degraded mode: when overloaded, serve cache hits and fixed-depth work, shed adaptive cache misses with 429")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")

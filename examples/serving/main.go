@@ -53,7 +53,8 @@ func main() {
 	// deltas invalidate exactly — see ARCHITECTURE.md, "Result cache").
 	// The overload layer bounds accepted work at 1024 targets, defaults
 	// every request to a 2s deadline, and gives the "burst" tenant a
-	// 2-request bucket refilling at 1 req/s — enough to watch a 429 happen.
+	// 2-token bucket refilling at 1 token/s (tokens are charged per target;
+	// these requests ask for one node each) — enough to watch a 429 happen.
 	quotas, err := qos.ParseQuotas("burst=1:2")
 	if err != nil {
 		log.Fatal(err)

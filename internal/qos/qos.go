@@ -14,6 +14,7 @@ package qos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -127,9 +128,10 @@ type Quotas struct {
 
 // ParseQuotas parses a tenant-quota spec of comma-separated
 // tenant=rate[:burst[:weight]] entries, e.g. "alice=100,bob=50:100:2,*=10".
-// rate is requests/second (0 = unlimited), burst defaults to rate, weight
-// (default 1) sets the tenant's share of the admission budget under
-// pressure. The "*" tenant is the default for unlisted tenants; without it
+// rate is tokens/second (0 = unlimited) — what one token buys is the
+// caller's policy (the daemon charges one token per target node, making
+// rates targets/second) — burst defaults to rate, weight (default 1) sets
+// the tenant's share of the admission budget under pressure. The "*" tenant is the default for unlisted tenants; without it
 // unlisted tenants are unlimited at weight 1. An empty spec returns nil
 // (no quotas at all).
 func ParseQuotas(spec string) (*Quotas, error) {
@@ -191,7 +193,7 @@ func (q *Quotas) limit(tenant string) Limit {
 	return Limit{Weight: 1}
 }
 
-// AllowAt charges n requests to the tenant's bucket at the given instant.
+// AllowAt charges n tokens to the tenant's bucket at the given instant.
 // A nil Quotas admits everything. On refusal the returned duration is the
 // Retry-After hint.
 func (q *Quotas) AllowAt(now time.Time, tenant string, n float64) (bool, time.Duration) {
@@ -207,6 +209,27 @@ func (q *Quotas) AllowAt(now time.Time, tenant string, n float64) (bool, time.Du
 	}
 	q.mu.Unlock()
 	return b.AllowAt(now, n)
+}
+
+// MaxCharge reports the largest single charge the tenant's bucket can ever
+// admit — its burst, or +Inf for unlimited tenants and a nil Quotas. A
+// charge above it can never succeed no matter how long the caller waits
+// (refill caps at burst), so callers turn such requests into permanent
+// errors instead of retryable ones.
+func (q *Quotas) MaxCharge(tenant string) float64 {
+	if q == nil {
+		return math.Inf(1)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	lim := q.limit(tenant)
+	if lim.Rate <= 0 {
+		return math.Inf(1)
+	}
+	if lim.Burst <= 0 {
+		return lim.Rate // NewTokenBucket's burst default
+	}
+	return lim.Burst
 }
 
 // Weight returns the tenant's fairness weight (1 for a nil Quotas or an
@@ -339,12 +362,15 @@ func (f *FairBudget) Tenants() []string {
 // loops. Utilization thresholds are fractions of the admission budget's
 // capacity; latency thresholds apply to the EWMA of flush latencies. A
 // zero TripLatency disables the latency signal; zero utilization
-// thresholds default to trip at 0.9 and clear at 0.5.
+// thresholds default to trip at 0.9 and clear at 0.5. ProbeInterval is how
+// often ShedAt admits one request while degraded (default: TripLatency,
+// or 100ms when the latency signal is disabled).
 type DetectorConfig struct {
 	TripUtilization  float64
 	ClearUtilization float64
 	TripLatency      time.Duration
 	ClearLatency     time.Duration
+	ProbeInterval    time.Duration
 }
 
 func (c DetectorConfig) withDefaults() DetectorConfig {
@@ -356,6 +382,13 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 	}
 	if c.TripLatency > 0 && c.ClearLatency <= 0 {
 		c.ClearLatency = c.TripLatency / 2
+	}
+	if c.ProbeInterval <= 0 {
+		if c.TripLatency > 0 {
+			c.ProbeInterval = c.TripLatency
+		} else {
+			c.ProbeInterval = 100 * time.Millisecond
+		}
 	}
 	return c
 }
@@ -374,6 +407,7 @@ type Detector struct {
 	latTrip     bool
 	degraded    bool
 	transitions int64
+	lastProbe   time.Time // last ShedAt probe admission this degraded episode
 }
 
 // NewDetector returns a detector with the given thresholds (zero fields
@@ -424,7 +458,37 @@ func (d *Detector) updateLocked() {
 	if next != d.degraded {
 		d.degraded = next
 		d.transitions++
+		if !next {
+			// A fresh degraded episode starts its probe clock from the
+			// first shed decision, not from a probe of a past episode.
+			d.lastProbe = time.Time{}
+		}
 	}
+}
+
+// ShedAt decides whether a sheddable request arriving at now should be
+// rejected. Healthy: never. Degraded: yes — except that once per
+// ProbeInterval one request is admitted as a probe. Probes are the latency
+// signal's recovery path: ObserveFlush is its only source of samples, and
+// a latency trip that shed everything would also shed the very flushes it
+// needs to observe that the overload has passed — tripping forever. The
+// first sheddable request of an episode is shed (the probe clock starts
+// there), so shedding is never trivially bypassed at trip time.
+func (d *Detector) ShedAt(now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.degraded {
+		return false
+	}
+	if d.lastProbe.IsZero() {
+		d.lastProbe = now
+		return true
+	}
+	if now.Sub(d.lastProbe) >= d.cfg.ProbeInterval {
+		d.lastProbe = now
+		return false
+	}
+	return true
 }
 
 // Degraded reports the current combined state.

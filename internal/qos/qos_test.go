@@ -1,6 +1,7 @@
 package qos
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -101,6 +102,29 @@ func TestParseQuotas(t *testing.T) {
 		if _, err := ParseQuotas(bad); err == nil {
 			t.Errorf("spec %q parsed without error", bad)
 		}
+	}
+}
+
+func TestQuotasMaxCharge(t *testing.T) {
+	q, err := ParseQuotas("alice=100,bob=50:10,free=0,*=20:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.MaxCharge("alice"); got != 100 {
+		t.Fatalf("alice max charge %v, want 100 (burst defaults to rate)", got)
+	}
+	if got := q.MaxCharge("bob"); got != 10 {
+		t.Fatalf("bob max charge %v, want 10", got)
+	}
+	if got := q.MaxCharge("free"); !math.IsInf(got, 1) {
+		t.Fatalf("unlimited tenant max charge %v, want +Inf", got)
+	}
+	if got := q.MaxCharge("mallory"); got != 5 {
+		t.Fatalf("defaulted tenant max charge %v, want 5", got)
+	}
+	var nilQ *Quotas
+	if got := nilQ.MaxCharge("anyone"); !math.IsInf(got, 1) {
+		t.Fatalf("nil quotas max charge %v, want +Inf", got)
 	}
 }
 
@@ -215,5 +239,58 @@ func TestDetectorLatencySignal(t *testing.T) {
 	d.Update(100, 100)
 	if !d.Degraded() {
 		t.Fatal("depth signal ignored")
+	}
+}
+
+// TestDetectorShedProbe pins the latency signal's recovery path: while
+// degraded, ShedAt admits exactly one probe per interval (the flush whose
+// ObserveFlush sample lets the EWMA decay), sheds everything else, and a
+// new degraded episode restarts the probe clock from its first shed.
+func TestDetectorShedProbe(t *testing.T) {
+	d := NewDetector(DetectorConfig{TripLatency: 100 * time.Millisecond, ProbeInterval: time.Second})
+	t0 := time.Unix(1000, 0)
+	if d.ShedAt(t0) {
+		t.Fatal("healthy detector shed")
+	}
+	d.ObserveFlush(time.Second)
+	if !d.Degraded() {
+		t.Fatal("latency signal did not trip")
+	}
+	// The first sheddable request of the episode is shed and starts the
+	// probe clock — tripping must not trivially admit one request.
+	if !d.ShedAt(t0) {
+		t.Fatal("first degraded request admitted")
+	}
+	if !d.ShedAt(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("request inside the probe interval admitted")
+	}
+	// One probe per interval: admitted, then shedding resumes.
+	if d.ShedAt(t0.Add(time.Second)) {
+		t.Fatal("probe not admitted after the interval")
+	}
+	if !d.ShedAt(t0.Add(time.Second + time.Millisecond)) {
+		t.Fatal("second request right after the probe admitted")
+	}
+	// Probe flushes decay the EWMA until the signal clears without any
+	// non-probe flush ever running.
+	for i := 0; i < 100 && d.Degraded(); i++ {
+		d.ObserveFlush(time.Millisecond)
+	}
+	if d.Degraded() {
+		t.Fatal("probe samples never cleared the latency trip")
+	}
+	if d.ShedAt(t0.Add(2 * time.Second)) {
+		t.Fatal("recovered detector shed")
+	}
+	// Re-trip: the new episode starts a fresh probe clock, so its first
+	// request is shed even though the last probe is long past.
+	for i := 0; i < 100 && !d.Degraded(); i++ {
+		d.ObserveFlush(time.Second)
+	}
+	if !d.Degraded() {
+		t.Fatal("did not re-trip")
+	}
+	if !d.ShedAt(t0.Add(time.Hour)) {
+		t.Fatal("new episode inherited the old probe clock")
 	}
 }

@@ -87,6 +87,12 @@ func newCoalescer(s *Server) *coalescer {
 // batch's Infer error. On success p.res/p.lo hold the caller's span.
 func (c *coalescer) submit(p *pending) error {
 	n := len(p.targets)
+	if cap := c.budget.Capacity(); cap > 0 && n > cap {
+		// Larger than the whole budget: Acquire would refuse this request
+		// forever, so a retryable 429 would be a lie — reject it as the
+		// client error it is (400), telling the caller the real bound.
+		return badRequestf("serve: request has %d targets, admission budget holds at most %d (split the request or raise -max-pending)", n, cap)
+	}
 	if !c.budget.Acquire(p.tenant, n) {
 		// Fast 429: the reject costs a mutex acquire, never an Infer. The
 		// retry hint is one flush's expected cost — by then a window's worth

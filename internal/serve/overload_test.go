@@ -273,6 +273,60 @@ func TestAdmissionFastReject(t *testing.T) {
 	}
 }
 
+// TestPermanentRejectsAre400: a request that can never be admitted — more
+// targets than the whole admission budget, or than its tenant's quota
+// burst can ever refill — must fail as a client error (400), not a
+// retryable 429 whose Retry-After a well-behaved client would obey
+// forever.
+func TestPermanentRejectsAre400(t *testing.T) {
+	t.Run("over admission budget", func(t *testing.T) {
+		s, _ := newTestServer(t, Config{MaxWait: time.Millisecond, MaxPending: 2})
+		_, _, err := s.Classify([]int{0, 1, 2})
+		var badReq *badRequestError
+		if !errors.As(err, &badReq) {
+			t.Fatalf("3 targets against budget 2: err %v, want bad request", err)
+		}
+		if got := httpStatus(err); got != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", got)
+		}
+		// Exactly at the bound the request is admissible.
+		if _, _, err := s.Classify([]int{0, 1}); err != nil {
+			t.Fatalf("budget-sized request: %v", err)
+		}
+	})
+	t.Run("over quota burst", func(t *testing.T) {
+		s, _ := newTestServer(t, Config{MaxWait: time.Millisecond,
+			Quotas: mustQuotas(t, "*=100:2")})
+		_, _, err := s.Classify([]int{0, 1, 2})
+		var badReq *badRequestError
+		if !errors.As(err, &badReq) {
+			t.Fatalf("3 targets against burst 2: err %v, want bad request", err)
+		}
+		// A burst-sized request drains the bucket instead: the next one is
+		// the retryable 429.
+		if _, _, err := s.Classify([]int{0, 1}); err != nil {
+			t.Fatalf("burst-sized request: %v", err)
+		}
+		if _, _, err := s.Classify([]int{0}); !errors.Is(err, ErrQuota) {
+			t.Fatalf("drained bucket: err %v, want ErrQuota", err)
+		}
+	})
+}
+
+// TestQuotaChargesPerTarget: quotas meter inference work, not calls — a
+// 4-target request must cost four tokens, so batching cannot smuggle work
+// past the rate limit.
+func TestQuotaChargesPerTarget(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxWait: time.Millisecond,
+		Quotas: mustQuotas(t, "*=0.001:4")})
+	if _, _, err := s.Classify([]int{0, 1, 2, 3}); err != nil {
+		t.Fatalf("burst-sized batch refused: %v", err)
+	}
+	if _, _, err := s.Classify([]int{4}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("after a 4-target request the 4-token burst must be empty: err %v, want ErrQuota", err)
+	}
+}
+
 // TestDeadlineEarlyFlush: a waiter whose deadline minus the expected flush
 // cost lands before the window's MaxWait must pull the flush forward — the
 // request completes inside its deadline instead of waiting out the (hour-
@@ -447,6 +501,53 @@ func TestDegradedModeFixedServes(t *testing.T) {
 	}
 	if st := s.Stats(); st.Shed != 0 {
 		t.Fatalf("ModeFixed work shed: %+v", st)
+	}
+}
+
+// TestShedRecoveryViaProbes: a latency trip must not outlive the overload
+// it detected. Shedding stops the very flushes that feed the latency EWMA,
+// so without probes one pathological flush would leave the daemon shedding
+// 429s forever; here the daemon must re-learn the true flush cost from
+// probe traffic and leave degraded mode on its own — no test ever calls
+// ObserveFlush after the trip.
+func TestShedRecoveryViaProbes(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		MaxWait: time.Millisecond, DefaultDeadline: 5 * time.Second, Shed: true,
+	})
+	// Same trip wire shape as production (latency-only), but a millisecond
+	// probe clock so the EWMA's decay converges within the test.
+	s.co.detector = qos.NewDetector(qos.DetectorConfig{
+		TripLatency: 250 * time.Millisecond, ProbeInterval: time.Millisecond,
+	})
+	s.co.detector.ObserveFlush(10 * time.Second) // the overload: one pathological flush
+	if !s.co.detector.Degraded() {
+		t.Fatal("detector did not trip")
+	}
+	if _, _, err := s.Classify([]int{0}); !errors.Is(err, ErrShed) {
+		t.Fatalf("first degraded request: err %v, want ErrShed", err)
+	}
+
+	// Offered load keeps arriving; only probes get through, and their
+	// (fast) flushes must decay the EWMA until the trip clears.
+	shed := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for s.co.detector.Degraded() && time.Now().Before(deadline) {
+		if _, _, err := s.Classify([]int{1}); err != nil {
+			if !errors.Is(err, ErrShed) {
+				t.Fatalf("degraded daemon returned %v, want ErrShed or success", err)
+			}
+			shed++
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.co.detector.Degraded() {
+		t.Fatal("latency trip never recovered: the daemon would shed forever")
+	}
+	if shed == 0 {
+		t.Fatal("recovery shed nothing: the trip did not actually gate traffic")
+	}
+	if _, _, err := s.Classify([]int{2}); err != nil {
+		t.Fatalf("post-recovery request: %v", err)
 	}
 }
 

@@ -108,16 +108,25 @@ type Config struct {
 	MaxDeadline time.Duration
 	// Quotas holds per-tenant token-bucket rate limits and fairness
 	// weights (requests are attributed by the X-Tenant header, or the
-	// tenant argument of ClassifyContext). nil admits everything at weight
-	// 1. Build one with qos.ParseQuotas.
+	// tenant argument of ClassifyContext). Each request is charged one
+	// token per target node, so rates are targets/second — a tenant cannot
+	// stay under a per-request quota while inflating its batch sizes. A
+	// request with more targets than the tenant's burst is rejected as a
+	// client error (400), since no amount of waiting refills past the
+	// burst. nil admits everything at weight 1. Build one with
+	// qos.ParseQuotas.
 	Quotas *qos.Quotas
 	// Shed enables degraded mode: when the overload detector trips
 	// (pending work ≥90% of MaxPending, or the flush-latency EWMA exceeds
 	// DefaultDeadline), requests that would need a fresh NAP inference are
 	// rejected with ErrShed (429) while cache hits — and, in ModeFixed,
 	// all requests (strictly local support, the cheap path) — keep being
-	// served. The detector clears with hysteresis (≤50% of the budget)
-	// and the transition is visible in /stats.
+	// served. While degraded, one sheddable request per probe interval
+	// (the detector's, default DefaultDeadline) is still admitted: its
+	// flush feeds the latency EWMA, giving the latency trip a recovery
+	// path even when shedding has stopped all other flushes. The detector
+	// clears with hysteresis (≤50% of the budget, latency below half the
+	// trip wire) and the transition is visible in /stats.
 	Shed bool
 }
 
@@ -243,10 +252,13 @@ func (s *Server) Classify(targets []int) (preds, depths []int, err error) {
 // already gives requests that straddle a delta.
 //
 // Overload control can refuse the request before any inference happens:
-// ErrQuota when the tenant's token bucket is empty, ErrOverloaded when the
-// admission budget (Config.MaxPending) is full or the tenant is over its
-// fair share of it, ErrShed when degraded mode is shedding un-cached NAP
-// work, ErrShuttingDown after Close. A context that expires before the
+// ErrQuota when the tenant's token bucket cannot cover one token per
+// target, ErrOverloaded when the admission budget (Config.MaxPending) is
+// full or the tenant is over its fair share of it, ErrShed when degraded
+// mode is shedding un-cached NAP work, ErrShuttingDown after Close. A
+// request that can never be admitted — more targets than the tenant's
+// quota burst or than the whole admission budget — is a non-retryable
+// validation error (HTTP 400) instead. A context that expires before the
 // flush starts returns the context's error and the request's targets never
 // occupy Infer batch slots. Config.DefaultDeadline, when set, bounds
 // requests whose context carries no deadline of its own.
@@ -256,8 +268,15 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	}
 	start := time.Now()
 	// Tenant quota first: it is the cheapest check and a tenant over its
-	// rate limit should not even get cache reads.
-	if ok, retry := s.cfg.Quotas.AllowAt(start, tenant, 1); !ok {
+	// rate limit should not even get cache reads. The charge is one token
+	// per target (quotas meter inference work, not calls), so a request the
+	// bucket's burst can never cover is a permanent client error — a 429
+	// would invite a retry loop that can never succeed.
+	charge := float64(len(targets))
+	if maxc := s.cfg.Quotas.MaxCharge(tenant); charge > maxc {
+		return nil, nil, badRequestf("serve: request has %d targets, tenant %q quota burst admits at most %.0f", len(targets), tenant, maxc)
+	}
+	if ok, retry := s.cfg.Quotas.AllowAt(start, tenant, charge); !ok {
 		s.stats.countRejected()
 		return nil, nil, &retryableError{err: ErrQuota, retry: retry}
 	}
@@ -307,8 +326,10 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	}
 	// Degraded mode: cache hits were already answered above and ModeFixed
 	// misses have strictly local support (the cheap path NAP makes
-	// distinguishable), so only un-cached NAP work is shed.
-	if s.cfg.Shed && s.cfg.Opt.Mode != core.ModeFixed && s.co.detector.Degraded() {
+	// distinguishable), so only un-cached NAP work is shed. ShedAt lets one
+	// probe per interval through so flushes keep feeding the latency EWMA —
+	// the signal's only recovery path once traffic is being shed.
+	if s.cfg.Shed && s.cfg.Opt.Mode != core.ModeFixed && s.co.detector.ShedAt(start) {
 		s.stats.countShed()
 		return nil, nil, ErrShed
 	}
