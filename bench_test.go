@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -402,6 +403,7 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 	baseline.Scratch = measureScratch(b)
 	baseline.Serving = measureServing(b)
 	baseline.Sharding = measureSharding(b)
+	baseline.Transport = measureTransport(b)
 	baseline.Cache = measureCachedServing(b)
 	baseline.Overload = measureOverload(b)
 	data, err := json.MarshalIndent(baseline, "", "  ")
@@ -643,6 +645,101 @@ func measureSharding(b *testing.B) benchfmt.ShardingStats {
 		ShardedReqPerSec: shardRPS,
 		SpeedupX:         shardRPS / p1RPS,
 	}
+}
+
+// measureTransport prices the distributed-sharding wire: the same P-shard
+// partition streaming the same small-batch workload through an in-process
+// LocalTransport router versus a router dialing loopback HTTP workers.
+// Each request crosses the wire once per touched shard — encode targets,
+// HTTP POST over a kept-alive loopback connection, worker-side Algorithm 1,
+// encode/decode the result — so HTTPOverLocal isolates exactly the codec +
+// framing overhead the distributed mode adds. cmd/benchgate holds a floor
+// under the ratio: on this tiny quick-mode workload per-request compute is
+// small, so the wire shows at its very worst; real graphs amortize it.
+func measureTransport(b *testing.B) benchfmt.TransportStats {
+	s, err := bench.GetSuite(bench.QuickConfig(), "products-like", "sgc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := s.SettingsDistance()[0]
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts, TMin: 1, TMax: 2}
+	const p, batch = 4, 8
+	cfg := shard.Config{Shards: p, Radius: opt.TMax}
+
+	local, err := shard.NewRouter(s.Model, s.DS.Graph, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One worker process stand-in per shard behind a loopback HTTP server;
+	// no deltas flow, so sharing the read-only benchmark graph is safe.
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		w, err := shard.NewWorker(s.Model, s.DS.Graph, cfg, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws := httptest.NewServer(shard.WorkerHandler(w))
+		defer ws.Close()
+		addrs[i] = ws.URL
+	}
+	tr := shard.NewHTTPTransport(addrs, shard.HTTPTransportConfig{})
+	remote, err := shard.NewRouterTransport(s.Model, s.DS.Graph, cfg, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Close()
+
+	targets := s.TestSubset(1 << 30)
+	const warm, run = 150 * time.Millisecond, 700 * time.Millisecond
+	measure := func(rt *shard.Router) float64 {
+		stream := func(d time.Duration) (float64, error) {
+			start := time.Now()
+			var reqs int64
+			for i := 0; time.Since(start) < d; i++ {
+				req := make([]int, batch)
+				for j := range req {
+					req[j] = targets[(i*batch+j)%len(targets)]
+				}
+				if _, err := rt.Infer(req, opt); err != nil {
+					return 0, err
+				}
+				reqs++
+			}
+			return float64(reqs) / time.Since(start).Seconds(), nil
+		}
+		if _, err := stream(warm); err != nil {
+			b.Fatal(err)
+		}
+		rps, err := stream(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rps
+	}
+	localRPS := measure(local)
+	httpRPS := measure(remote)
+
+	return benchfmt.TransportStats{
+		Workload:       "products-like/8-target-batches",
+		P:              p,
+		BatchTargets:   batch,
+		LocalReqPerSec: localRPS,
+		HTTPReqPerSec:  httpRPS,
+		HTTPOverLocal:  httpRPS / localRPS,
+	}
+}
+
+// BenchmarkTransportInfer reports the local-vs-HTTP transport comparison as
+// metrics; the JSON-recorded version feeding the CI gate lives in
+// BenchmarkInferBaselineJSON.
+func BenchmarkTransportInfer(b *testing.B) {
+	var st benchfmt.TransportStats
+	for i := 0; i < b.N; i++ {
+		st = measureTransport(b)
+	}
+	b.ReportMetric(st.LocalReqPerSec, "local-req/s")
+	b.ReportMetric(st.HTTPReqPerSec, "http-req/s")
+	b.ReportMetric(st.HTTPOverLocal, "httpOverLocal")
 }
 
 // BenchmarkShardedInfer reports the sharded-vs-single routed serving

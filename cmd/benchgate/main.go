@@ -9,8 +9,11 @@
 // throughput ratio (-min-serve-speedup, default 1.5×), the sharded-
 // serving throughput ratio (-min-shard-speedup, default 1.5×, requires a
 // multi-core runner — the shard fan-out has nothing to run on with one
-// CPU, so pass 0 to skip the gate on serial hosts), the hot-node
-// result-cache throughput ratio on the Zipf workload (-min-cache-speedup,
+// CPU, so pass 0 to skip the gate on serial hosts), the http-vs-local
+// shard transport throughput ratio (-min-transport-ratio, default 0.15×,
+// 0 skips — a floor, not a speedup: the wire costs something, the gate
+// catches a codec/transport regression making it cost much more), the
+// hot-node result-cache throughput ratio on the Zipf workload (-min-cache-speedup,
 // default 2×, 0 skips) and the overload goodput ratio at 4× saturation
 // (-min-overload-goodput, default 0.7, 0 skips) — the ratios are
 // same-process, same-hardware numbers, so they port across runners even
@@ -40,6 +43,7 @@ func main() {
 	minReduction := flag.Float64("min-reduction", 5, "required scratch-vs-dense memory reduction factor")
 	minServeSpeedup := flag.Float64("min-serve-speedup", 1.5, "required coalesced-vs-naive serving throughput ratio")
 	minShardSpeedup := flag.Float64("min-shard-speedup", 1.5, "required sharded-vs-single serving throughput ratio (0 skips, for single-core hosts)")
+	minTransportRatio := flag.Float64("min-transport-ratio", 0.15, "required http-vs-local shard transport throughput ratio (0 skips)")
 	minCacheSpeedup := flag.Float64("min-cache-speedup", 2.0, "required cached-vs-uncached Zipf serving throughput ratio (0 skips)")
 	minOverloadGoodput := flag.Float64("min-overload-goodput", 0.7, "required 4x-vs-1x saturation goodput ratio (0 skips)")
 	gateList := flag.String("gate", "infer/distance-multibatch",
@@ -127,6 +131,20 @@ func main() {
 		} else if sh.SpeedupX < *minShardSpeedup {
 			fmt.Printf("benchgate: FAIL — sharded serving speedup %.2fx below required %.2fx\n",
 				sh.SpeedupX, *minShardSpeedup)
+			failed = true
+		}
+	}
+
+	tp := cur.Transport
+	fmt.Printf("\ntransport %-30s %10.0f local req/s, %10.0f http req/s (P=%d, %.2fx of local)\n",
+		tp.Workload, tp.LocalReqPerSec, tp.HTTPReqPerSec, tp.P, tp.HTTPOverLocal)
+	if *minTransportRatio > 0 {
+		if tp.LocalReqPerSec == 0 || tp.HTTPReqPerSec == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no transport measurement")
+			failed = true
+		} else if tp.HTTPOverLocal < *minTransportRatio {
+			fmt.Printf("benchgate: FAIL — http transport throughput %.2fx of local, below required %.2fx\n",
+				tp.HTTPOverLocal, *minTransportRatio)
 			failed = true
 		}
 	}

@@ -9,6 +9,25 @@
 // cross-shard router — answers stay bit-identical to the single deployment
 // (see ARCHITECTURE.md, "Sharded serving").
 //
+// Sharding can also be distributed across processes (see ARCHITECTURE.md,
+// "Distributed sharding"). A worker process serves one shard over the
+// binary shard protocol:
+//
+//	naiserve -shards 2 -shard-worker 0 -addr :9000
+//
+// and a router process dials a comma-separated worker list instead of an
+// integer:
+//
+//	naiserve -shards localhost:9000,localhost:9001 -addr :8080
+//
+// Workers bootstrap deterministically from the same model/graph/depth flags
+// as the router (the router verifies the fit at startup), so no bulk state
+// transfer happens. The router retries transient worker failures with
+// backoff (-shard-retries), marks persistently unreachable shards down
+// (their requests get 503, /healthz degrades), and its background probe
+// (-shard-health-interval) replays missed deltas to workers that restart —
+// a worker rejoin never requires restarting the router.
+//
 // With -cache-size N (default 4096 entries; 0 disables) each node's final
 // prediction and realized depth is cached across requests, so hot nodes
 // under skewed traffic skip the inference pipeline entirely; graph deltas
@@ -51,6 +70,8 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,7 +98,10 @@ func main() {
 	tmax := flag.Int("tmax", 0, "maximum propagation depth (0 = K)")
 	maxBatch := flag.Int("max-batch", 64, "max targets per coalesced batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for batch mates")
-	shards := flag.Int("shards", 1, "partition the graph into this many shards (1 = single deployment)")
+	shardsFlag := flag.String("shards", "1", "shard layout: an integer P partitions in-process (1 = single deployment); a comma-separated worker address list (host:port,...) routes to worker processes started with -shard-worker")
+	shardWorker := flag.Int("shard-worker", -1, "serve one shard as a worker process: this flag is the shard id, -shards P (integer) the shard count; exposes the binary shard protocol on -addr")
+	shardRetries := flag.Int("shard-retries", 2, "retries per shard call on transient transport failures (distributed mode)")
+	shardHealthInterval := flag.Duration("shard-health-interval", time.Second, "background worker health-probe interval in distributed mode (0 disables; probes also replay missed deltas to restarted workers)")
 	cacheSize := flag.Int("cache-size", 4096, "per-node result-cache capacity in entries (0 disables; delta-aware invalidation keeps answers exact)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max HTTP request body size in bytes")
 	maxPending := flag.Int("max-pending", 4096, "admission budget: max targets queued+in-flight before 429s (0 disables)")
@@ -91,11 +115,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	// Quotas are parsed before any training happens: a typo in the spec
-	// should fail the launch, not a request hours later.
+	// Quotas and the shard layout are parsed before any training happens: a
+	// typo in either should fail the launch, not a request hours later.
 	quotas, err := qos.ParseQuotas(*tenantQuotas)
 	if err != nil {
 		fail(err)
+	}
+	shardCount, workerAddrs, err := parseShards(*shardsFlag)
+	if err != nil {
+		fail(err)
+	}
+	if *shardWorker >= 0 && workerAddrs != nil {
+		fail(fmt.Errorf("-shard-worker needs an integer -shards (the shard count), not an address list"))
+	}
+	if *shardWorker >= shardCount {
+		fail(fmt.Errorf("-shard-worker %d out of range for %d shards", *shardWorker, shardCount))
 	}
 
 	cfg := bench.DefaultConfig()
@@ -140,13 +174,40 @@ func main() {
 		}
 	}
 
+	// Worker mode: bootstrap one shard from the same (model, graph, depth)
+	// inputs the router holds — the deterministic rebuild is the state
+	// transfer — and serve the binary shard protocol. The operating point,
+	// T_s tuning, coalescing and overload control all live in the router
+	// process; a worker only needs the shard's deployment and the halo
+	// radius (which must match the router's: it verifies at startup).
+	if *shardWorker >= 0 {
+		radius := m.K
+		if *tmax > 0 {
+			radius = *tmax
+		}
+		w, werr := shard.NewWorker(m, g, shard.Config{Shards: shardCount, Radius: radius}, *shardWorker)
+		if werr != nil {
+			fail(werr)
+		}
+		h := w.Health()
+		fmt.Printf("shard worker %d/%d on %s: %d local nodes (of %d), halo radius %d\n",
+			*shardWorker, shardCount, *addr, h.Nodes, h.GlobalNodes, h.Radius)
+		runServer(&http.Server{
+			Addr:         *addr,
+			Handler:      shard.WorkerHandler(w),
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+		})
+		return
+	}
+
 	// The global deployment is needed as the backend when unsharded, and
 	// for T_s tuning in distance mode (the tuner propagates over the global
 	// normalized adjacency). In sharded fixed/gate modes it is skipped
 	// entirely — the router builds only shard-local state, so the daemon
 	// never materializes a whole-graph normalization it won't serve from.
 	var dep *core.Deployment
-	if *shards <= 1 || *mode == "distance" {
+	if (shardCount <= 1 && workerAddrs == nil) || *mode == "distance" {
 		if dep, err = core.NewDeployment(m, g); err != nil {
 			fail(err)
 		}
@@ -183,15 +244,31 @@ func main() {
 		fail(err)
 	}
 
-	// The backend: the deployment itself, or — with -shards P — a router
-	// over P per-shard deployments with a TMax-hop halo each. The router
-	// rebuilds its shard-local state from (m, g); a distance-mode tuning
-	// deployment's global caches are left for the GC afterwards.
+	// The backend: the deployment itself, or — with -shards — a router over
+	// per-shard deployments with a TMax-hop halo each: in-process workers
+	// for an integer -shards, worker processes behind the HTTP transport
+	// for an address list. The router rebuilds its shard-local bookkeeping
+	// from (m, g); a distance-mode tuning deployment's global caches are
+	// left for the GC afterwards.
 	var backend serve.Backend = dep
-	if *shards > 1 {
-		rt, err := shard.NewRouter(m, g, shard.Config{Shards: *shards, Radius: iopt.TMax})
-		if err != nil {
-			fail(err)
+	if workerAddrs != nil {
+		tr := shard.NewHTTPTransport(workerAddrs, shard.HTTPTransportConfig{})
+		rt, rerr := shard.NewRouterTransport(m, g,
+			shard.Config{Shards: len(workerAddrs), Radius: iopt.TMax, Retries: *shardRetries}, tr)
+		if rerr != nil {
+			fail(fmt.Errorf("dialing shard workers: %w (are all workers up, built from the same model/graph/depth flags?)", rerr))
+		}
+		defer rt.Close()
+		if *shardHealthInterval > 0 {
+			rt.StartHealthProbe(*shardHealthInterval)
+		}
+		fmt.Printf("distributed: %d shard workers (%s), halo radius %d, retries=%d, health every %v\n",
+			rt.Shards(), *shardsFlag, rt.Radius(), *shardRetries, *shardHealthInterval)
+		backend = rt
+	} else if shardCount > 1 {
+		rt, rerr := shard.NewRouter(m, g, shard.Config{Shards: shardCount, Radius: iopt.TMax})
+		if rerr != nil {
+			fail(rerr)
 		}
 		sizes := rt.Sizes()
 		halo := 0
@@ -222,18 +299,21 @@ func main() {
 	} else {
 		fmt.Println("result cache: disabled")
 	}
-	hs := &http.Server{
+	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, shards=%s, max-batch=%d, max-wait=%v)\n",
+		g.N(), g.M(), *addr, *mode, *shardsFlag, *maxBatch, *maxWait)
+	runServer(&http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
-	}
+	})
+}
 
+// runServer serves until the listener fails or SIGINT/SIGTERM asks for a
+// graceful shutdown; both the daemon and worker modes end here.
+func runServer(hs *http.Server) {
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
-	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, shards=%d, max-batch=%d, max-wait=%v)\n",
-		g.N(), g.M(), *addr, *mode, *shards, *maxBatch, *maxWait)
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -245,6 +325,26 @@ func main() {
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 	}
+}
+
+// parseShards reads the -shards flag: an integer is an in-process shard
+// count, anything else a comma-separated worker address list (one worker
+// per shard, index = shard id).
+func parseShards(s string) (count int, addrs []string, err error) {
+	if n, aerr := strconv.Atoi(s); aerr == nil {
+		if n < 1 {
+			return 0, nil, fmt.Errorf("-shards %d: want ≥ 1 or an address list", n)
+		}
+		return n, nil, nil
+	}
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return 0, nil, fmt.Errorf("-shards %q: empty worker address", s)
+		}
+		addrs = append(addrs, a)
+	}
+	return len(addrs), addrs, nil
 }
 
 // tuneThreshold converts a validation-distance quantile into T_s, matching

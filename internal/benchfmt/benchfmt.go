@@ -80,6 +80,25 @@ type ShardingStats struct {
 	SpeedupX         float64 `json:"speedup_x"`
 }
 
+// TransportStats records the shard-transport comparison: the same P-shard
+// router streaming the same small-batch workload over the in-process
+// LocalTransport versus the HTTP/binary transport to loopback worker
+// processes. Answers are bit-identical over both (the cross-transport
+// equivalence tests pin that); the ratio HTTPOverLocal = http/local
+// requests-per-second prices the wire — codec, HTTP framing, connection
+// reuse — and cmd/benchgate holds a floor under it so a codec or transport
+// regression cannot land silently. Same-process, same-hardware ratio, so it
+// ports across runners; loopback sockets mean it measures protocol
+// overhead, not the network.
+type TransportStats struct {
+	Workload       string  `json:"workload"`
+	P              int     `json:"p"`
+	BatchTargets   int     `json:"batch_targets"`
+	LocalReqPerSec float64 `json:"local_req_per_sec"`
+	HTTPReqPerSec  float64 `json:"http_req_per_sec"`
+	HTTPOverLocal  float64 `json:"http_over_local"`
+}
+
 // CachedServingStats records the hot-node result-cache benchmark: many
 // concurrent clients replaying a deterministic Zipf-skewed target stream
 // against two otherwise identical coalescing servers, one with the result
@@ -140,6 +159,7 @@ type File struct {
 	Scratch    ScratchStats       `json:"scratch"`
 	Serving    ServingStats       `json:"serving"`
 	Sharding   ShardingStats      `json:"sharding"`
+	Transport  TransportStats     `json:"transport"`
 	Cache      CachedServingStats `json:"cache"`
 	Overload   OverloadStats      `json:"overload"`
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -230,7 +231,7 @@ func (c *coalescer) flush(batch []*pending) {
 
 	start := time.Now()
 	c.graphMu.RLock()
-	res, err := c.srv.backend.Infer(all, opt)
+	res, err := c.infer(live, all, opt)
 	if err == nil && c.srv.cached {
 		// Fill the result cache under the same read lock as the Infer call:
 		// a delta (write lock) can then never slip between compute and fill,
@@ -258,6 +259,32 @@ func (c *coalescer) flush(batch []*pending) {
 		c.srv.stats.countFlushError(len(live), total)
 	}
 	c.detector.Update(c.budget.Pending(), c.budget.Capacity())
+}
+
+// infer dispatches one flushed batch to the backend. A ContextBackend gets
+// a context bounded by the *loosest* live waiter's deadline — the batch is
+// shared, so it must be allowed to run as long as any caller still has
+// budget, but a sharded backend should never keep remote workers computing
+// past the point where every caller has given up. If any waiter carries no
+// deadline the batch runs unbounded, like a plain Backend always does.
+// Callers hold graphMu.RLock.
+func (c *coalescer) infer(live []*pending, all []int, opt core.InferenceOptions) (*core.Result, error) {
+	cb, ok := c.srv.backend.(ContextBackend)
+	if !ok {
+		return c.srv.backend.Infer(all, opt)
+	}
+	var latest time.Time
+	for _, p := range live {
+		if p.deadline.IsZero() {
+			return cb.InferContext(context.Background(), all, opt)
+		}
+		if p.deadline.After(latest) {
+			latest = p.deadline
+		}
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), latest)
+	defer cancel()
+	return cb.InferContext(ctx, all, opt)
 }
 
 // close flushes the open window so no caller is left parked on a timer;

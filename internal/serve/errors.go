@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // The daemon's overload-control error taxonomy. Every rejection path in
@@ -69,7 +70,10 @@ func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuota), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, shard.ErrUnavailable):
+		// A sharded backend with an unreachable worker (retries exhausted)
+		// is a temporary server condition, like shutdown: the request may
+		// succeed once the worker rejoins.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mat"
+	"repro/internal/shard"
 )
 
 // The wire types of the JSON API. Every error response is
@@ -66,11 +67,16 @@ type EdgesResponse struct {
 	Dirty int `json:"rows_dirtied"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. With a sharded backend it carries
+// per-shard status, and OK means *every* shard is serving: a dead worker
+// turns the probe into a 503 so load balancers stop sending traffic that
+// would partially fail, while the shards block tells an operator exactly
+// which worker to restart.
 type HealthResponse struct {
-	OK    bool `json:"ok"`
-	Nodes int  `json:"nodes"`
-	Edges int  `json:"edges"`
+	OK     bool                `json:"ok"`
+	Nodes  int                 `json:"nodes"`
+	Edges  int                 `json:"edges"`
+	Shards []shard.ShardStatus `json:"shards,omitempty"`
 }
 
 // Handler returns the daemon's HTTP mux:
@@ -258,5 +264,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.co.graphMu.RLock()
 	n, m := s.backend.NumNodes(), s.backend.NumEdges()
 	s.co.graphMu.RUnlock()
-	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Nodes: n, Edges: m})
+	resp := HealthResponse{OK: true, Nodes: n, Edges: m}
+	status := http.StatusOK
+	if hr, ok := s.backend.(ShardHealthReporter); ok {
+		resp.Shards = hr.ShardHealth()
+		if !hr.Healthy() {
+			resp.OK = false
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, resp)
 }

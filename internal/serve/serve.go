@@ -43,12 +43,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/qos"
+	"repro/internal/shard"
 )
 
 // Config parametrizes the daemon.
@@ -185,6 +187,27 @@ type Backend interface {
 	CacheStats() (cache.Stats, bool)
 }
 
+// ContextBackend is an optional Backend extension for backends whose Infer
+// can honor a context — the shard.Router forwards it to worker transports,
+// so a remote worker call inherits the callers' deadlines instead of
+// running unbounded. When the backend implements it, coalesced flushes
+// dispatch through InferContext with a deadline covering every live waiter
+// in the batch (the loosest one: a flush must not be killed by its most
+// impatient caller while others still have budget).
+type ContextBackend interface {
+	InferContext(ctx context.Context, targets []int, opt core.InferenceOptions) (*core.Result, error)
+}
+
+// ShardHealthReporter is an optional Backend extension for sharded
+// backends: per-shard health feeds /healthz (which degrades to 503 when a
+// shard is down) and the /stats "shards" block. shard.Router implements it.
+type ShardHealthReporter interface {
+	// ShardHealth snapshots per-shard status.
+	ShardHealth() []shard.ShardStatus
+	// Healthy reports whether every shard is serving.
+	Healthy() bool
+}
+
 // Server is the serving daemon's state: one backend, one coalescer, one
 // stats tracker. Create it with New (single deployment) or NewBackend (any
 // Backend, e.g. a shard.Router) and expose Handler over HTTP, or call
@@ -267,6 +290,7 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 		return nil, nil, nil
 	}
 	start := time.Now()
+	s.stats.countTenantRequest(tenant, len(targets))
 	// Tenant quota first: it is the cheapest check and a tenant over its
 	// rate limit should not even get cache reads. The charge is one token
 	// per target (quotas meter inference work, not calls), so a request the
@@ -319,6 +343,7 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 		// Fully served from cache: the request never touches the coalescer.
 		s.stats.countCached()
 		s.stats.observe(time.Since(start))
+		s.stats.observeTenant(tenant, time.Since(start))
 		return preds, depths, nil
 	}
 	if !s.cached {
@@ -337,6 +362,9 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	p := &pending{targets: miss, tenant: tenant, ctx: ctx, deadline: deadline,
 		done: make(chan struct{})}
 	if err := s.co.submit(p); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.stats.countTenantDeadlineMiss(tenant)
+		}
 		return nil, nil, err
 	}
 	mp, md := p.res.Window(p.lo, p.lo+len(miss))
@@ -350,6 +378,7 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 		}
 	}
 	s.stats.observe(time.Since(start))
+	s.stats.observeTenant(tenant, time.Since(start))
 	return preds, depths, nil
 }
 

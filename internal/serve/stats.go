@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // Stats is one /stats snapshot. All counters are totals since the server
@@ -76,7 +77,40 @@ type Stats struct {
 	// Cache reports the result cache's counters; absent (null) when
 	// caching is disabled.
 	Cache *CacheStats `json:"cache,omitempty"`
+
+	// Shards reports per-shard health when the backend is sharded
+	// (ShardHealthReporter); absent for single-deployment backends.
+	Shards []shard.ShardStatus `json:"shards,omitempty"`
+
+	// Tenants breaks request volume and latency SLO accounting down by
+	// X-Tenant. At most maxTrackedTenants distinct tenants are tracked;
+	// later arrivals aggregate under "~other" (the cap keeps a tenant-id
+	// cardinality attack from growing this map unboundedly). Absent until
+	// the first request.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
+
+// TenantStats is one tenant's /stats entry: request volume and the latency
+// SLO view (recent-window percentiles plus deadline misses — requests that
+// expired before their batch flushed).
+type TenantStats struct {
+	Requests       int64   `json:"requests"`
+	Targets        int64   `json:"targets"`
+	DeadlineMisses int64   `json:"deadline_misses"`
+	LatencyP50us   float64 `json:"latency_p50_us"`
+	LatencyP99us   float64 `json:"latency_p99_us"`
+}
+
+// maxTrackedTenants caps the per-tenant stats map; the tenant namespace is
+// client-controlled (a request header), so it must not be unbounded.
+const maxTrackedTenants = 64
+
+// tenantOverflowKey aggregates tenants beyond the cap.
+const tenantOverflowKey = "~other"
+
+// tenantLatencyWindow is each tenant's latency ring size (smaller than the
+// global window: 64 tenants × 256 × 8 bytes stays negligible).
+const tenantLatencyWindow = 256
 
 // CacheStats is the /stats "cache" block: the backend cache's own counters
 // (hits, misses, evictions, invalidations, entries, bytes, hit rate) plus
@@ -107,10 +141,75 @@ type tracker struct {
 	lat  []time.Duration // latency ring
 	next int
 	full bool
+
+	tenants map[string]*tenantTracker
+}
+
+// tenantTracker is one tenant's slice of the tracker: counters plus its own
+// small latency ring.
+type tenantTracker struct {
+	requests       int64
+	targets        int64
+	deadlineMisses int64
+	lat            []time.Duration
+	next           int
+	full           bool
 }
 
 func newTracker(window int) *tracker {
-	return &tracker{lat: make([]time.Duration, window)}
+	return &tracker{lat: make([]time.Duration, window),
+		tenants: make(map[string]*tenantTracker)}
+}
+
+// tenant returns the tracker for one tenant, creating it under the cap
+// (overflow aggregates under tenantOverflowKey). Callers hold t.mu. The
+// empty tenant — unattributed traffic — is reported as "default".
+func (t *tracker) tenant(name string) *tenantTracker {
+	if name == "" {
+		name = "default"
+	}
+	tt, ok := t.tenants[name]
+	if !ok {
+		if len(t.tenants) >= maxTrackedTenants {
+			name = tenantOverflowKey
+			if tt, ok = t.tenants[name]; ok {
+				return tt
+			}
+		}
+		tt = &tenantTracker{lat: make([]time.Duration, tenantLatencyWindow)}
+		t.tenants[name] = tt
+	}
+	return tt
+}
+
+// countTenantRequest attributes one request's volume to its tenant.
+func (t *tracker) countTenantRequest(tenant string, targets int) {
+	t.mu.Lock()
+	tt := t.tenant(tenant)
+	tt.requests++
+	tt.targets += int64(targets)
+	t.mu.Unlock()
+}
+
+// observeTenant records one successful request's latency in its tenant's
+// ring.
+func (t *tracker) observeTenant(tenant string, d time.Duration) {
+	t.mu.Lock()
+	tt := t.tenant(tenant)
+	tt.lat[tt.next] = d
+	tt.next++
+	if tt.next == len(tt.lat) {
+		tt.next, tt.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// countTenantDeadlineMiss records a request of this tenant that expired
+// before its batch flushed — the per-tenant SLO-miss counter.
+func (t *tracker) countTenantDeadlineMiss(tenant string) {
+	t.mu.Lock()
+	t.tenant(tenant).deadlineMisses++
+	t.mu.Unlock()
 }
 
 func (t *tracker) observe(d time.Duration) {
@@ -183,6 +282,20 @@ func (t *tracker) countDelta(dr *graph.DeltaResult) {
 	t.mu.Unlock()
 }
 
+// percentiles sorts a copied latency window and reads off p50/p90/p99 in
+// microseconds (zeros for an empty window).
+func percentiles(lats []time.Duration) (p50, p90, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx].Nanoseconds()) / 1e3
+	}
+	return pct(0.50), pct(0.90), pct(0.99)
+}
+
 // Stats snapshots the tracker plus the deployment-side gauges.
 func (s *Server) Stats() Stats {
 	t := s.stats
@@ -207,20 +320,26 @@ func (s *Server) Stats() Stats {
 		window = t.lat
 	}
 	lats := append([]time.Duration(nil), window...)
+	if len(t.tenants) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(t.tenants))
+		for name, tt := range t.tenants {
+			ts := TenantStats{Requests: tt.requests, Targets: tt.targets,
+				DeadlineMisses: tt.deadlineMisses}
+			w := tt.lat[:tt.next]
+			if tt.full {
+				w = tt.lat
+			}
+			ts.LatencyP50us, _, ts.LatencyP99us = percentiles(append([]time.Duration(nil), w...))
+			st.Tenants[name] = ts
+		}
+	}
 	t.mu.Unlock()
 
 	if st.InferCalls > 0 {
 		st.CoalesceRate = float64(st.Requests) / float64(st.InferCalls)
 		st.AvgBatchTargets = float64(st.Targets) / float64(st.InferCalls)
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		pct := func(p float64) float64 {
-			idx := int(p * float64(len(lats)-1))
-			return float64(lats[idx].Nanoseconds()) / 1e3
-		}
-		st.LatencyP50us, st.LatencyP90us, st.LatencyP99us = pct(0.50), pct(0.90), pct(0.99)
-	}
+	st.LatencyP50us, st.LatencyP90us, st.LatencyP99us = percentiles(lats)
 
 	st.PendingTargets = s.co.budget.Pending()
 	st.MaxPending = s.co.budget.Capacity()
@@ -240,5 +359,8 @@ func (s *Server) Stats() Stats {
 		st.Cache = &CacheStats{Stats: cs, FullyCachedRequests: cachedReqs}
 	}
 	s.co.graphMu.RUnlock()
+	if hr, ok := s.backend.(ShardHealthReporter); ok {
+		st.Shards = hr.ShardHealth()
+	}
 	return st
 }

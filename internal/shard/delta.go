@@ -1,52 +1,104 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/sparse"
 )
 
-// ApplyDelta routes an online graph mutation through the sharded system,
-// leaving every shard bit-identical to a from-scratch rebuild over the
-// merged graph (and therefore the whole system bit-identical to an
+// ApplyDelta routes a graph mutation with no deadline or cancellation —
+// ApplyDeltaContext with a background context.
+func (r *Router) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
+	return r.ApplyDeltaContext(context.Background(), d)
+}
+
+// ApplyDeltaContext routes an online graph mutation through the sharded
+// system, leaving every shard bit-identical to a from-scratch rebuild over
+// the merged graph (and therefore the whole system bit-identical to an
 // unsharded Deployment.ApplyDelta):
 //
 //  1. The global graph absorbs the delta and the global stationary state
-//     updates incrementally (Stationary.Update — the shards' views share
-//     its weighted sum, so they see the new X(∞) for free).
+//     updates incrementally (Stationary.Update — the shards' views carry
+//     its weighted sum, so they see the new X(∞) exactly).
 //  2. New nodes are assigned owners: a node inherits the shard of the
 //     first delta edge connecting it to an already-owned node; unattached
 //     arrivals go to the least-loaded shard (lowest id on ties).
-//  3. Each shard re-expands its halo *incrementally*: only distances
-//     reachable through the delta's dirty rows are relaxed (edge additions
-//     only shrink distances, so a bucketed BFS from the delta's endpoints
-//     and the new owned nodes touches just the affected region), newly
-//     reached nodes enter the local subgraph as appended ghost/owned rows,
-//     and the local normalized adjacency is repaired with
-//     sparse.NormalizedAdjacencyPatch over the value-dirty local rows —
-//     the same patch the unsharded RefreshIncremental path uses.
+//  3. For each shard the router *plans* a versioned ShardDelta: the halo
+//     re-expands incrementally (only distances reachable through the
+//     delta's dirty rows are relaxed — edge additions only shrink
+//     distances, so a bucketed BFS from the delta's endpoints and the new
+//     owned nodes touches just the affected region), newly reached nodes
+//     enter the local subgraph as appended ghost/owned rows, and the plan
+//     carries the exact global bits (weighted sum, scale, looped degrees)
+//     the worker needs to repair its normalized adjacency with
+//     sparse.NormalizedAdjacencyPatch — the same patch the unsharded
+//     RefreshIncremental path uses.
+//  4. The plans are appended to the per-shard delta log (the replay source
+//     for stale and restarted workers), then shipped through the
+//     Transport. A shard that is unreachable after retries does NOT fail
+//     the delta: the router's state is already committed, the shard is
+//     marked down, and the logged delta reaches it via catch-up replay
+//     when it comes back — this is how a restarted worker rejoins. A
+//     worker that *rejects* a delta (a permanent error) does fail the
+//     call: that is a routing bug, not an outage.
 //
 // Must not run concurrently with Infer (the serving daemon holds its write
 // lock around deltas, matching the unsharded backend's contract).
-func (r *Router) ApplyDelta(d graph.Delta) (*graph.DeltaResult, error) {
+func (r *Router) ApplyDeltaContext(ctx context.Context, d graph.Delta) (*graph.DeltaResult, error) {
 	dr, err := r.global.ApplyDelta(d)
 	if err != nil {
 		return nil, err
 	}
+	if len(dr.Dirty) == 0 && dr.NumNew == 0 {
+		// Ineffective delta (duplicates and self-loops only): no state
+		// anywhere changes, no version bump, no log entry — matching
+		// core.Deployment.RefreshIncremental.
+		return dr, nil
+	}
 	r.st.Update(r.global.Adj, r.global.Features, dr.Dirty)
 	newOwned := r.assignNew(dr, d)
+
+	version := r.version.Load() + 1
+	plans := make([]*ShardDelta, len(r.shards))
 	for p, s := range r.shards {
-		if err := r.updateShard(s, newOwned[p], d, dr); err != nil {
-			return nil, err
+		plans[p] = r.planShardDelta(s, newOwned[p], d, dr, version)
+	}
+	r.version.Store(version)
+	r.logMu.Lock()
+	for p := range plans {
+		r.deltaLog[p] = append(r.deltaLog[p], plans[p])
+	}
+	r.logMu.Unlock()
+
+	var firstErr error
+	for p := range plans {
+		err := r.withRetry(ctx, p, func() error {
+			aerr := r.transport.ApplyDelta(ctx, p, plans[p])
+			var stale *StaleError
+			if errors.As(aerr, &stale) {
+				// A worker behind the router (restarted since its last call):
+				// the replay includes the plan just logged, so a successful
+				// catch-up IS the delivery.
+				return r.catchUp(ctx, p, stale.Have)
+			}
+			return aerr
+		})
+		switch {
+		case err == nil:
+			r.markUp(p)
+		case IsTransient(err):
+			// Unreachable worker: the delta is committed and logged; the
+			// prober (or the next call) replays it when the worker returns.
+			r.markDown(p, err)
+		case firstErr == nil:
+			firstErr = err
 		}
 	}
-	if len(dr.Dirty) > 0 || dr.NumNew > 0 {
-		// Effective change: bump the graph version and evict stale cached
-		// answers (a no-op delta — duplicates and self-loops only — leaves
-		// both untouched, matching core.Deployment.RefreshIncremental).
-		r.version.Add(1)
-		r.invalidateResultCaches(dr)
+	r.invalidateResultCaches(dr)
+	if firstErr != nil {
+		return dr, firstErr
 	}
 	return dr, nil
 }
@@ -96,9 +148,16 @@ func (r *Router) assignNew(dr *graph.DeltaResult, d graph.Delta) [][]int {
 	return newOwned
 }
 
-// updateShard is the per-shard half of ApplyDelta: incremental halo
-// re-expansion, local subgraph growth, and normalized-adjacency repair.
-func (r *Router) updateShard(s *shardRuntime, newOwned []int, d graph.Delta, dr *graph.DeltaResult) error {
+// planShardDelta is the router-side half of a shard's delta: incremental
+// halo re-expansion over the merged global graph, local-membership growth
+// (it mutates the shard's universe/toLocal/dist bookkeeping), and the
+// synthesis of the versioned ShardDelta the worker applies mechanically.
+// Everything the worker needs to stay bitwise global — newcomer features
+// and looped degrees, changed degrees of existing rows, the updated
+// weighted sum and scalars — is copied into the plan, so a logged plan
+// stays valid verbatim no matter how many later deltas mutate the router's
+// live state (replay depends on that).
+func (r *Router) planShardDelta(s *shardRuntime, newOwned []int, d graph.Delta, dr *graph.DeltaResult, version uint64) *ShardDelta {
 	gAdj := r.global.Adj
 	radius := r.radius
 	for len(s.toLocal) < r.global.N() {
@@ -187,9 +246,10 @@ func (r *Router) updateShard(s *shardRuntime, newOwned []int, d graph.Delta, dr 
 	// promoted row must become complete — all its neighbors are within
 	// radius now — and a newcomer's truncated row keeps the local matrix
 	// exactly what a fresh build over the merged graph would cut, which the
-	// rebuild-equivalence test pins). AppendEdges dedupes against existing
-	// entries per direction, preserving the invariant that an entry (u,v)
-	// is stored iff the edge exists globally and both endpoints are local.
+	// rebuild-equivalence test pins). The worker's graph.ApplyDelta dedupes
+	// against existing entries per direction, preserving the invariant that
+	// an entry (u,v) is stored iff the edge exists globally and both
+	// endpoints are local.
 	var lsrc, ldst []int
 	addEdge := func(gu, gv int) {
 		lu, lv := s.toLocal[gu], s.toLocal[gv]
@@ -209,76 +269,33 @@ func (r *Router) updateShard(s *shardRuntime, newOwned []int, d graph.Delta, dr 
 		}
 	}
 
-	var ld graph.Delta
+	sd := &ShardDelta{
+		Version: version,
+		Src:     lsrc,
+		Dst:     ldst,
+		Scale:   r.st.Scale,
+		SumMACs: r.st.SumMACs,
+		// Copied, not aliased: the router's live WeightedSum mutates with
+		// every later delta, and the log must replay this one's exact bits.
+		WeightedSum: append([]float64(nil), r.st.WeightedSum...),
+	}
 	if len(newcomers) > 0 {
-		ld.Features = r.global.Features.GatherRows(newcomers)
-		ld.Labels = make([]int, len(newcomers))
+		sd.NewFeatures = r.global.Features.GatherRows(newcomers)
+		sd.NewLabels = make([]int, len(newcomers))
+		sd.NewDeg = make([]float64, len(newcomers))
 		for k, v := range newcomers {
-			ld.Labels[k] = r.global.Labels[v]
+			sd.NewLabels[k] = r.global.Labels[v]
+			sd.NewDeg[k] = r.st.LoopedDeg[v]
 		}
 	}
-	ld.Src, ld.Dst = lsrc, ldst
-	ldr, err := s.dep.Graph.ApplyDelta(ld)
-	if err != nil {
-		return err
-	}
-
-	// Re-sync the stationary view with the updated global state: the
-	// weighted sum is shared, the scalars and the gathered looped degrees
-	// are not.
-	s.st.Scale = r.st.Scale
-	s.st.SumMACs = r.st.SumMACs
-	for _, v := range dr.Dirty {
-		if lv := s.toLocal[v]; lv >= 0 && int(lv) < baseLocal {
-			s.st.LoopedDeg[lv] = r.st.LoopedDeg[v]
-		}
-	}
-	for _, v := range newcomers {
-		s.st.LoopedDeg = append(s.st.LoopedDeg, r.st.LoopedDeg[v])
-	}
-
-	localN := len(s.universe)
-	if len(ldr.Dirty) == 0 && !anyLocalDirty(s, dr.Dirty, baseLocal) {
-		return nil
-	}
-
-	// Value-dirty local rows, mirroring the unsharded RefreshIncremental:
-	// every universe node whose global looped degree changed, every local
-	// row adjacent to one (its D̃^{−γ} column factors moved — the local
-	// matrix is symmetric under truncation, so the node's own row names
-	// exactly the rows referencing it), and every row whose local entry set
-	// changed.
-	mark := make([]bool, localN)
-	lAdj := s.dep.Graph.Adj
 	for _, v := range dr.Dirty {
 		if lv := s.toLocal[v]; lv >= 0 {
-			mark[lv] = true
-			for _, lu := range lAdj.RowIndices(int(lv)) {
-				mark[lu] = true
+			sd.DirtyLocal = append(sd.DirtyLocal, int(lv))
+			if int(lv) < baseLocal {
+				sd.DegIdx = append(sd.DegIdx, int(lv))
+				sd.DegVal = append(sd.DegVal, r.st.LoopedDeg[v])
 			}
 		}
 	}
-	for _, lv := range ldr.Dirty {
-		mark[lv] = true
-	}
-	valDirty := make([]int, 0, len(ldr.Dirty))
-	for lv, m := range mark {
-		if m {
-			valDirty = append(valDirty, lv)
-		}
-	}
-	s.dep.Adj = sparse.NormalizedAdjacencyPatch(lAdj, r.model.Gamma, s.dep.Adj, s.st.LoopedDeg, valDirty)
-	return nil
-}
-
-// anyLocalDirty reports whether any pre-existing universe node's global
-// degree changed (newcomer rows are covered by the local delta's dirty
-// report already).
-func anyLocalDirty(s *shardRuntime, dirty []int, baseLocal int) bool {
-	for _, v := range dirty {
-		if lv := s.toLocal[v]; lv >= 0 && int(lv) < baseLocal {
-			return true
-		}
-	}
-	return false
+	return sd
 }

@@ -162,7 +162,7 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 	}
 	merged := rt.global.Clone()
 	fresh, err := newRouter(m, merged,
-		core.ComputeStationary(merged.Adj, merged.Features, m.Gamma), asg, rt.radius)
+		core.ComputeStationary(merged.Adj, merged.Features, m.Gamma), asg, rt.radius, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,6 +178,7 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 
 	for p, s := range rt.shards {
 		fs := fresh.shards[p]
+		w, fw := rt.localWorker(p), fresh.localWorker(p)
 		if len(s.universe) != len(fs.universe) {
 			t.Fatalf("shard %d: universe size %d != fresh %d", p, len(s.universe), len(fs.universe))
 		}
@@ -189,22 +190,22 @@ func TestIncrementalMatchesRebuild(t *testing.T) {
 			if s.dist[lv] != fs.dist[flv] {
 				t.Fatalf("shard %d node %d: dist %d != fresh %d", p, v, s.dist[lv], fs.dist[flv])
 			}
-			if s.st.LoopedDeg[lv] != fs.st.LoopedDeg[flv] {
+			if w.st.LoopedDeg[lv] != fw.st.LoopedDeg[flv] {
 				t.Fatalf("shard %d node %d: looped degree %v != fresh %v",
-					p, v, s.st.LoopedDeg[lv], fs.st.LoopedDeg[flv])
+					p, v, w.st.LoopedDeg[lv], fw.st.LoopedDeg[flv])
 			}
 			for c := 0; c < ds.Graph.F(); c++ {
-				if s.dep.Graph.Features.At(lv, c) != fs.dep.Graph.Features.At(int(flv), c) {
+				if w.dep.Graph.Features.At(lv, c) != fw.dep.Graph.Features.At(int(flv), c) {
 					t.Fatalf("shard %d node %d: feature %d differs", p, v, c)
 				}
 			}
 			// Raw and normalized rows, compared entry-by-entry in global ids.
 			for _, u := range s.universe {
 				lu, flu := int(s.toLocal[u]), int(fs.toLocal[u])
-				if got, want := s.dep.Graph.Adj.At(lv, lu), fs.dep.Graph.Adj.At(int(flv), flu); got != want {
+				if got, want := w.dep.Graph.Adj.At(lv, lu), fw.dep.Graph.Adj.At(int(flv), flu); got != want {
 					t.Fatalf("shard %d raw (%d,%d): %v != fresh %v", p, v, u, got, want)
 				}
-				if got, want := s.dep.Adj.At(lv, lu), fs.dep.Adj.At(int(flv), flu); got != want {
+				if got, want := w.dep.Adj.At(lv, lu), fw.dep.Adj.At(int(flv), flu); got != want {
 					t.Fatalf("shard %d normalized (%d,%d): %v != fresh %v", p, v, u, got, want)
 				}
 			}

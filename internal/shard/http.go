@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The worker wire protocol: three endpoints carrying the binary codec of
+// wire.go over plain HTTP POST/GET bodies (HTTP buys connection reuse,
+// deadlines and status codes; the payloads never touch JSON).
+//
+//	POST /shard/infer  — msgInfer body   → 200 msgResult | 409 msgError (stale)
+//	POST /shard/delta  — msgDelta body   → 200 msgAck    | 409 msgError (stale)
+//	GET  /shard/health —                 → 200 msgHealth
+//
+// Malformed payloads are 400, internal failures 500 (both with a plain-text
+// body); a version conflict is 409 with a msgError carrying the worker's
+// current version, which HTTPTransport turns back into the *StaleError the
+// router's replay path keys on.
+
+// workerMaxBody caps a worker request body. Shard deltas carry feature rows
+// for newcomers, so the cap is roomy; it exists so a confused or hostile
+// peer cannot make a worker buffer an unbounded body.
+const workerMaxBody = 256 << 20
+
+// WorkerHandler serves one Worker over the shard wire protocol; mount it as
+// the root handler of a worker process (cmd/naiserve -shard-worker does).
+func WorkerHandler(w *Worker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shard/infer", func(rw http.ResponseWriter, r *http.Request) {
+		body, ok := readWireBody(rw, r)
+		if !ok {
+			return
+		}
+		req, err := decodeInferRequest(body)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := w.Infer(req)
+		if err != nil {
+			writeWorkerError(rw, err)
+			return
+		}
+		writeWire(rw, encodeResult(res))
+	})
+	mux.HandleFunc("/shard/delta", func(rw http.ResponseWriter, r *http.Request) {
+		body, ok := readWireBody(rw, r)
+		if !ok {
+			return
+		}
+		sd, err := decodeShardDelta(body)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := w.ApplyDelta(sd); err != nil {
+			writeWorkerError(rw, err)
+			return
+		}
+		writeWire(rw, encodeAck())
+	})
+	mux.HandleFunc("/shard/health", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(rw, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		writeWire(rw, encodeHealthInfo(w.Health()))
+	})
+	return mux
+}
+
+func readWireBody(rw http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "use POST", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, workerMaxBody))
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+func writeWire(rw http.ResponseWriter, b []byte) {
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = rw.Write(b)
+}
+
+// writeWorkerError maps a worker-side failure onto the wire: stale versions
+// are 409 with a structured msgError (the router heals them), anything else
+// is a 500 the router treats as a permanent call failure.
+func writeWorkerError(rw http.ResponseWriter, err error) {
+	var stale *StaleError
+	if errors.As(err, &stale) {
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.WriteHeader(http.StatusConflict)
+		_, _ = rw.Write(encodeWireError(errKindStale, stale.Have, stale.Want, err.Error()))
+		return
+	}
+	http.Error(rw, err.Error(), http.StatusInternalServerError)
+}
+
+// HTTPTransport reaches shard workers over the wire protocol: one base URL
+// per shard (index = shard id), one shared http.Client with keep-alive
+// connection reuse. Per-call deadlines come from the caller's context (the
+// serving layer's PR 6 deadline plumbing flows through unchanged); calls
+// whose context carries no deadline get CallTimeout so a dead worker always
+// turns into a timely transient error, never a hang.
+//
+// Error mapping: connect/timeout failures and 5xx/429 statuses become
+// transient TransportErrors (the router retries with backoff), 409 becomes
+// the *StaleError the router's replay path heals, anything else is a
+// permanent TransportError.
+type HTTPTransport struct {
+	urls        []string
+	client      *http.Client
+	callTimeout time.Duration
+}
+
+// HTTPTransportConfig parametrizes NewHTTPTransport.
+type HTTPTransportConfig struct {
+	// CallTimeout bounds calls whose context has no deadline of its own
+	// (≤0 defaults to 30s).
+	CallTimeout time.Duration
+}
+
+// NewHTTPTransport dials one worker per address (index = shard id).
+// Addresses may be bare "host:port" (http:// is assumed) or full URLs.
+func NewHTTPTransport(addrs []string, cfg HTTPTransportConfig) *HTTPTransport {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		urls[i] = strings.TrimRight(a, "/")
+	}
+	return &HTTPTransport{
+		urls: urls,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		callTimeout: cfg.CallTimeout,
+	}
+}
+
+func (t *HTTPTransport) url(shardID int) (string, error) {
+	if shardID < 0 || shardID >= len(t.urls) {
+		return "", &TransportError{Shard: shardID, Err: fmt.Errorf("no such shard (have %d)", len(t.urls))}
+	}
+	return t.urls[shardID], nil
+}
+
+// call runs one wire round trip and returns the 200 response body; every
+// failure is already classified (transient TransportError, StaleError, or
+// permanent TransportError).
+func (t *HTTPTransport) call(ctx context.Context, shardID int, method, path string, body []byte) ([]byte, error) {
+	base, err := t.url(shardID)
+	if err != nil {
+		return nil, err
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.callTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return nil, &TransportError{Shard: shardID, Err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		// Every transport-level failure — refused connection, reset, DNS,
+		// context deadline — is worth a retry against a worker that may be
+		// restarting. Context errors stay visible through Unwrap.
+		return nil, &TransportError{Shard: shardID, Transient: true, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, workerMaxBody))
+	if err != nil {
+		return nil, &TransportError{Shard: shardID, Transient: true, Err: err}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return data, nil
+	case resp.StatusCode == http.StatusConflict:
+		we, err := decodeWireError(data)
+		if err != nil || we.kind != errKindStale {
+			return nil, &TransportError{Shard: shardID, Err: fmt.Errorf("bad 409 payload: %v", err)}
+		}
+		return nil, &StaleError{Shard: shardID, Have: we.have, Want: we.want}
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		// A proxy 502/503 or an overloaded worker may clear on retry.
+		return nil, &TransportError{Shard: shardID, Transient: true,
+			Err: fmt.Errorf("worker status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))}
+	default:
+		return nil, &TransportError{Shard: shardID,
+			Err: fmt.Errorf("worker status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))}
+	}
+}
+
+// Infer runs one shard-local batch on the remote worker.
+func (t *HTTPTransport) Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error) {
+	data, err := t.call(ctx, shardID, http.MethodPost, "/shard/infer", encodeInferRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		return nil, &TransportError{Shard: shardID, Err: err}
+	}
+	return res, nil
+}
+
+// ApplyDelta ships one versioned shard delta to the remote worker.
+func (t *HTTPTransport) ApplyDelta(ctx context.Context, shardID int, sd *ShardDelta) error {
+	data, err := t.call(ctx, shardID, http.MethodPost, "/shard/delta", encodeShardDelta(sd))
+	if err != nil {
+		return err
+	}
+	if err := decodeAck(data); err != nil {
+		return &TransportError{Shard: shardID, Err: err}
+	}
+	return nil
+}
+
+// Health probes the remote worker.
+func (t *HTTPTransport) Health(ctx context.Context, shardID int) (HealthInfo, error) {
+	data, err := t.call(ctx, shardID, http.MethodGet, "/shard/health", nil)
+	if err != nil {
+		return HealthInfo{}, err
+	}
+	h, err := decodeHealthInfo(data)
+	if err != nil {
+		return HealthInfo{}, &TransportError{Shard: shardID, Err: err}
+	}
+	return h, nil
+}
+
+// Close drops the transport's idle keep-alive connections.
+func (t *HTTPTransport) Close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}

@@ -1,17 +1,20 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/par"
-	"repro/internal/sparse"
 )
 
-// Config parametrizes NewRouter.
+// Config parametrizes NewRouter and NewRouterTransport.
 type Config struct {
 	// Shards is the partition width P (≥ 1; 1 degenerates to a routed
 	// single deployment, the baseline the sharding benchmark compares
@@ -24,12 +27,27 @@ type Config struct {
 	Radius int
 	// Strategy selects the partitioner (default StrategyBFS).
 	Strategy Strategy
+	// Retries is how many times a transiently failed transport call is
+	// retried (with exponential backoff) before the shard is declared
+	// unavailable; ≤0 defaults to 2 (three attempts total).
+	Retries int
+	// RetryBackoff is the first retry's backoff, doubling per attempt; ≤0
+	// defaults to 5ms. In-process transports never fail transiently, so
+	// both knobs only matter for networked workers.
+	RetryBackoff time.Duration
 }
 
-// shardRuntime is one shard's serving state: the local subgraph (owned ∪
-// halo, ids compacted in ascending global order at build time, arrivals
-// appended), the remap between coordinate spaces, the hop distance of every
-// local node from the owned set, and the deployment answering for it.
+const (
+	defaultRetries      = 2
+	defaultRetryBackoff = 5 * time.Millisecond
+)
+
+// shardRuntime is the router-side bookkeeping for one shard: the membership
+// of its local subgraph (owned ∪ halo, ids compacted in ascending global
+// order at build time, arrivals appended), the remap between coordinate
+// spaces, and the hop distance of every local node from the owned set. The
+// shard's bulky serving state (features, normalized adjacency, scratch)
+// lives behind the Transport, in a Worker — in-process or remote.
 type shardRuntime struct {
 	// universe maps local → global id.
 	universe []int
@@ -40,27 +58,39 @@ type shardRuntime struct {
 	// (0 = owned, Radius = outermost ghost ring). Nodes with dist ≤
 	// Radius−1 are interior: their local adjacency rows are complete.
 	dist []int
-	// dep serves the shard; its Adj and Stationary carry global semantics
-	// (see core.NewDeploymentWithState) and are repaired by the Router
-	// after deltas.
-	dep *core.Deployment
-	// st is dep's stationary view (kept here because the Router re-syncs
-	// its Scale/SumMACs/LoopedDeg after every delta).
-	st *core.Stationary
 	// rcache is this shard's slice of the result cache: answers for the
 	// nodes the shard owns, keyed by global id (EnableResultCache).
 	rcache *cache.Cache
 }
 
-// Router fronts a set of per-shard deployments with the same Infer /
-// ApplyDelta surface as a single core.Deployment (both satisfy
-// serve.Backend). It owns the source-of-truth global graph — the partition
-// map, delta routing and halo bookkeeping all read it — plus the global
-// stationary state every shard's view shares; the per-shard deployments
-// hold the bulky hot-path state (features, normalized adjacency rows,
-// propagation scratch) only for their own subgraph. In a multi-process
-// deployment the router's global copy corresponds to the partition/ingest
-// service; the per-shard runtimes are what each serving pod would hold.
+// shardHealth is the router's view of one shard's liveness, fed by call
+// outcomes and the background prober.
+type shardHealth struct {
+	mu   sync.Mutex
+	up   bool
+	err  error // last failure while down
+	info HealthInfo
+	// replay serializes delta-log catch-up per shard, so concurrent stale
+	// answers trigger one replay, not a stampede.
+	replay sync.Mutex
+}
+
+// Router fronts a set of shard workers with the same Infer / ApplyDelta
+// surface as a single core.Deployment (both satisfy serve.Backend). It owns
+// the source-of-truth global graph — the partition map, delta routing and
+// halo bookkeeping all read it — plus the global stationary state; the
+// workers hold the bulky hot-path state (features, normalized adjacency
+// rows, propagation scratch) only for their own subgraph, reached
+// exclusively through the Transport: in-process (NewRouter) or remote
+// worker processes (NewRouterTransport).
+//
+// Failure handling: transient transport failures retry with exponential
+// backoff; a shard that stays unreachable is marked down and — while the
+// background prober runs — fails fast with ErrUnavailable (the serving
+// layer's 503) instead of re-paying timeouts per request. Stale workers
+// (restarted, behind the router's graph version) are healed by replaying
+// the router's per-shard delta log, so a worker rejoins without the router
+// restarting.
 type Router struct {
 	model  *core.Model
 	global *graph.Graph
@@ -72,19 +102,35 @@ type Router struct {
 	ownedCount []int
 	shards     []*shardRuntime
 
+	transport Transport
+	retries   int
+	backoff   time.Duration
+
 	// version counts applied deltas (monotone, part of the serve.Backend
 	// surface shared with core.Deployment).
 	version atomic.Uint64
+	// deltaLog[p][i] is the ShardDelta that takes shard p from version i+1
+	// to i+2; never truncated, so any worker version since bootstrap can be
+	// replayed forward (the memory cost of restartability — a delta-rate
+	// high enough to care about would warrant snapshotting instead).
+	logMu    sync.Mutex
+	deltaLog [][]*ShardDelta
+
+	health    []*shardHealth
+	probing   atomic.Bool
+	probeStop chan struct{}
+	probeDone chan struct{}
+
 	// rcacheCfg is the per-shard result caches' invalidation policy; the
 	// caches themselves live on the shard runtimes (EnableResultCache).
 	rcacheCfg cache.Config
 	cached    bool
 }
 
-// NewRouter partitions g into cfg.Shards shards and builds the per-shard
-// deployments. The Router takes ownership of g: all subsequent mutations
-// must go through Router.ApplyDelta (mutating g behind the router's back
-// desynchronizes the shard subgraphs).
+// NewRouter partitions g into cfg.Shards shards and builds in-process
+// workers behind a LocalTransport. The Router takes ownership of g: all
+// subsequent mutations must go through Router.ApplyDelta (mutating g behind
+// the router's back desynchronizes the shard subgraphs).
 func NewRouter(m *core.Model, g *graph.Graph, cfg Config) (*Router, error) {
 	if g.F() != m.FeatureDim {
 		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
@@ -98,13 +144,77 @@ func NewRouter(m *core.Model, g *graph.Graph, cfg Config) (*Router, error) {
 		return nil, err
 	}
 	st := core.ComputeStationary(g.Adj, g.Features, m.Gamma)
-	return newRouter(m, g, st, asg, radius)
+	return newRouter(m, g, st, asg, radius, cfg)
 }
 
-// newRouter builds the runtime from an explicit assignment (tests use it to
-// rebuild a router from scratch with the owner map an evolved router ended
-// up with, pinning the incremental delta path against a fresh build).
-func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignment, radius int) (*Router, error) {
+// newRouter builds a local-transport runtime from an explicit assignment
+// (tests use it to rebuild a router from scratch with the owner map an
+// evolved router ended up with, pinning the incremental delta path against
+// a fresh build).
+func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignment, radius int, cfg Config) (*Router, error) {
+	r := newRouterCommon(m, g, st, asg, radius, cfg)
+	workers := make([]*Worker, asg.P)
+	for p := 0; p < asg.P; p++ {
+		r.shards[p] = buildRuntime(g, asg.Owned[p], radius)
+		dep, lst, err := buildShardState(m, g, st, r.shards[p].universe)
+		if err != nil {
+			return nil, err
+		}
+		workers[p] = newWorker(p, asg.P, radius, g.N(), dep, lst)
+	}
+	r.transport = NewLocalTransport(workers)
+	for p := range r.health {
+		info, err := r.transport.Health(context.Background(), p)
+		if err != nil {
+			return nil, err
+		}
+		r.health[p].up, r.health[p].info = true, info
+	}
+	return r, nil
+}
+
+// NewRouterTransport builds a router over already-running workers reached
+// through t (index = shard id): it rebuilds the partition and halo
+// bookkeeping from (m, g) — the same deterministic construction the workers
+// themselves ran — and performs a health handshake with every shard,
+// verifying that each worker serves the expected shard of the expected
+// partition (shard id, width, radius, local and global node counts) at
+// version 1. The router takes ownership of t (Close closes it) and of g,
+// exactly like NewRouter.
+func NewRouterTransport(m *core.Model, g *graph.Graph, cfg Config, t Transport) (*Router, error) {
+	if g.F() != m.FeatureDim {
+		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	radius := cfg.Radius
+	if radius <= 0 {
+		radius = m.K
+	}
+	asg, err := Partition(g, cfg.Shards, cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	st := core.ComputeStationary(g.Adj, g.Features, m.Gamma)
+	r := newRouterCommon(m, g, st, asg, radius, cfg)
+	r.transport = t
+	for p := 0; p < asg.P; p++ {
+		r.shards[p] = buildRuntime(g, asg.Owned[p], radius)
+	}
+	for p := range r.health {
+		if err := r.handshake(context.Background(), p); err != nil {
+			return nil, fmt.Errorf("shard %d handshake: %w", p, err)
+		}
+	}
+	return r, nil
+}
+
+// newRouterCommon builds the transport-independent router skeleton.
+func newRouterCommon(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignment, radius int, cfg Config) *Router {
+	if cfg.Retries <= 0 {
+		cfg.Retries = defaultRetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
 	r := &Router{
 		model:      m,
 		global:     g,
@@ -113,67 +223,204 @@ func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignme
 		owner:      asg.Owner,
 		ownedCount: make([]int, asg.P),
 		shards:     make([]*shardRuntime, asg.P),
+		retries:    cfg.Retries,
+		backoff:    cfg.RetryBackoff,
+		deltaLog:   make([][]*ShardDelta, asg.P),
+		health:     make([]*shardHealth, asg.P),
 	}
-	r.version.Store(1) // fresh build = version 1, matching core.Deployment
+	for p := range r.health {
+		r.health[p] = &shardHealth{}
+	}
 	for p := 0; p < asg.P; p++ {
 		r.ownedCount[p] = len(asg.Owned[p])
-		s, err := buildShard(m, g, st, asg.Owned[p], radius)
-		if err != nil {
-			return nil, err
-		}
-		r.shards[p] = s
 	}
-	return r, nil
+	r.version.Store(1) // fresh build = version 1, matching core.Deployment
+	return r
 }
 
-// buildShard cuts one shard's subgraph out of the global graph and deploys
-// it. The local adjacency keeps every universe row truncated to universe
-// columns — interior rows (dist ≤ radius−1) are complete by the halo
-// construction, boundary rows keep exactly the in-universe half of their
-// edges so the local matrix stays symmetric (delta routing relies on that
-// for reverse neighbor lookups).
-func buildShard(m *core.Model, g *graph.Graph, gst *core.Stationary, owned []int, radius int) (*shardRuntime, error) {
+// buildRuntime computes one shard's router-side bookkeeping: the halo
+// universe, the global→local remap, and per-node hop distances.
+func buildRuntime(g *graph.Graph, owned []int, radius int) *shardRuntime {
 	sets := graph.SupportingSets(g.Adj, owned, radius)
 	universe := sets[0]
 	toLocal := graph.NewIndex(g.N())
 	graph.IndexSet(universe, toLocal)
-
 	dist := make([]int, len(universe))
-	for r := radius; r >= 0; r-- {
-		// sets[radius−r] is the radius-r ball; descending r leaves each
+	for rr := radius; rr >= 0; rr-- {
+		// sets[radius−rr] is the radius-rr ball; descending rr leaves each
 		// node with its minimum distance.
-		for _, v := range sets[radius-r] {
-			dist[toLocal[v]] = r
+		for _, v := range sets[radius-rr] {
+			dist[toLocal[v]] = rr
 		}
 	}
-
-	raw := g.Adj.ExtractRowsTruncated(universe, toLocal, len(universe))
-	labels := make([]int, len(universe))
-	for lv, v := range universe {
-		labels[lv] = g.Labels[v]
-	}
-	lg, err := graph.New(raw, g.Features.GatherRows(universe), labels, g.NumClasses)
-	if err != nil {
-		return nil, err
-	}
-	st := gst.LocalView(universe)
-	adj := sparse.NormalizedAdjacencyWithDegrees(raw, m.Gamma, st.LoopedDeg)
-	dep, err := core.NewDeploymentWithState(m, lg, adj, st)
-	if err != nil {
-		return nil, err
-	}
-	return &shardRuntime{universe: universe, toLocal: toLocal, dist: dist, dep: dep, st: st}, nil
+	return &shardRuntime{universe: universe, toLocal: toLocal, dist: dist}
 }
 
-// Infer answers for the targets (global ids) by bucketing them per owning
-// shard, running the per-shard Infer calls concurrently (internal/par fans
-// them out; tiny requests run inline under its work threshold), and
-// scattering the per-shard results back into request order. Predictions and
-// depths are bit-identical to a single unsharded Deployment; MAC totals and
-// TotalTime/FPTime sum the per-shard batches, so — exactly like BatchSize
-// splitting — the cost accounting reflects the sharded execution and the
-// time sums can exceed wall clock. Safe for concurrent callers.
+// handshake probes shard p (retrying transient failures — the worker may
+// still be binding its listener) and verifies the worker serves the shard
+// this router expects.
+func (r *Router) handshake(ctx context.Context, p int) error {
+	var info HealthInfo
+	err := r.withRetry(ctx, p, func() error {
+		var herr error
+		info, herr = r.transport.Health(ctx, p)
+		return herr
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case info.ShardID != p:
+		return fmt.Errorf("worker serves shard %d, want %d", info.ShardID, p)
+	case info.Shards != len(r.shards):
+		return fmt.Errorf("worker partition width %d, want %d", info.Shards, len(r.shards))
+	case info.Radius != r.radius:
+		return fmt.Errorf("worker halo radius %d, want %d", info.Radius, r.radius)
+	case info.GlobalNodes != r.global.N():
+		return fmt.Errorf("worker built from %d global nodes, want %d", info.GlobalNodes, r.global.N())
+	case info.Nodes != len(r.shards[p].universe):
+		return fmt.Errorf("worker subgraph has %d nodes, want %d", info.Nodes, len(r.shards[p].universe))
+	case info.Version != r.version.Load():
+		return fmt.Errorf("worker at graph version %d, want %d", info.Version, r.version.Load())
+	}
+	h := r.health[p]
+	h.mu.Lock()
+	h.up, h.err, h.info = true, nil, info
+	h.mu.Unlock()
+	return nil
+}
+
+// withRetry runs call, retrying transient failures with exponential backoff
+// up to the configured attempt budget; the final error is returned as-is
+// (callers classify it).
+func (r *Router) withRetry(ctx context.Context, p int, call func() error) error {
+	backoff := r.backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = call(); err == nil || !IsTransient(err) || attempt >= r.retries {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// markUp records a successful call to shard p.
+func (r *Router) markUp(p int) {
+	h := r.health[p]
+	h.mu.Lock()
+	h.up, h.err = true, nil
+	h.mu.Unlock()
+}
+
+// markDown records shard p as unreachable with its last failure.
+func (r *Router) markDown(p int, err error) {
+	h := r.health[p]
+	h.mu.Lock()
+	h.up, h.err = false, err
+	h.mu.Unlock()
+}
+
+// failFast reports whether calls to shard p should be refused outright: the
+// shard is marked down and the background prober is running (so the mark
+// will clear once the worker is back). Without a prober a down-mark must
+// not stick — the next call is the only probe there is.
+func (r *Router) failFast(p int) (error, bool) {
+	if !r.probing.Load() {
+		return nil, false
+	}
+	h := r.health[p]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.up {
+		return nil, false
+	}
+	return fmt.Errorf("shard %d %w: %v", p, ErrUnavailable, h.err), true
+}
+
+// inferShard runs one shard-local batch through the transport, healing
+// stale workers (delta-log replay) and retrying transient failures; an
+// exhausted retry budget marks the shard down and wraps ErrUnavailable.
+func (r *Router) inferShard(ctx context.Context, p int, req *InferRequest) (*core.Result, error) {
+	if err, fast := r.failFast(p); fast {
+		return nil, err
+	}
+	var res *core.Result
+	err := r.withRetry(ctx, p, func() error {
+		var ierr error
+		res, ierr = r.transport.Infer(ctx, p, req)
+		var stale *StaleError
+		if errors.As(ierr, &stale) {
+			if cerr := r.catchUp(ctx, p, stale.Have); cerr != nil {
+				return cerr
+			}
+			res, ierr = r.transport.Infer(ctx, p, req)
+		}
+		return ierr
+	})
+	if err == nil {
+		r.markUp(p)
+		return res, nil
+	}
+	if IsTransient(err) {
+		r.markDown(p, err)
+		return nil, fmt.Errorf("shard %d %w: %v", p, ErrUnavailable, err)
+	}
+	return nil, err
+}
+
+// catchUp replays the delta log to bring shard p from version have up to
+// the router's current version. Replays are serialized per shard; the
+// worker's versioned idempotence makes overlapping replays harmless anyway.
+func (r *Router) catchUp(ctx context.Context, p int, have uint64) error {
+	h := r.health[p]
+	h.replay.Lock()
+	defer h.replay.Unlock()
+	cur := r.version.Load()
+	if have == cur {
+		return nil // another caller already replayed
+	}
+	if have < 1 || have > cur {
+		return &TransportError{Shard: p,
+			Err: fmt.Errorf("worker graph version %d outside router history [1,%d]", have, cur)}
+	}
+	r.logMu.Lock()
+	// deltaLog[p][i] produces version i+2, so versions have+1..cur are
+	// entries have−1..cur−2.
+	replay := append([]*ShardDelta(nil), r.deltaLog[p][have-1:cur-1]...)
+	r.logMu.Unlock()
+	for _, sd := range replay {
+		if err := r.transport.ApplyDelta(ctx, p, sd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Infer answers with no deadline or cancellation — InferContext with a
+// background context.
 func (r *Router) Infer(targets []int, opt core.InferenceOptions) (*core.Result, error) {
+	return r.InferContext(context.Background(), targets, opt)
+}
+
+// InferContext answers for the targets (global ids) under the caller's
+// context by bucketing them per owning shard, running the per-shard
+// transport calls concurrently (internal/par fans them out; tiny requests
+// run inline under its work threshold), and scattering the per-shard
+// results back into request order. Predictions and depths are bit-identical
+// to a single unsharded Deployment; MAC totals and TotalTime/FPTime sum the
+// per-shard batches, so — exactly like BatchSize splitting — the cost
+// accounting reflects the sharded execution and the time sums can exceed
+// wall clock. Safe for concurrent callers.
+//
+// A shard that stays unreachable after retries fails the request with an
+// error wrapping ErrUnavailable (HTTP 503 at the serving layer) — fail
+// fast, never hang; the context's deadline bounds every transport call.
+func (r *Router) InferContext(ctx context.Context, targets []int, opt core.InferenceOptions) (*core.Result, error) {
 	if err := opt.Validate(r.model); err != nil {
 		return nil, err
 	}
@@ -202,6 +449,7 @@ func (r *Router) Infer(targets []int, opt core.InferenceOptions) (*core.Result, 
 		}
 	}
 
+	version := r.version.Load()
 	results := make([]*core.Result, len(calls))
 	errs := make([]error, len(calls))
 	// Every per-shard call runs a full batch pipeline — supporting-ball
@@ -212,7 +460,9 @@ func (r *Router) Infer(targets []int, opt core.InferenceOptions) (*core.Result, 
 	// request runs inline either way.
 	par.For(len(calls), par.Threshold*len(calls), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
-			results[k], errs[k] = r.shards[calls[k]].dep.Infer(local[calls[k]], opt)
+			p := calls[k]
+			results[k], errs[k] = r.inferShard(ctx, p,
+				&InferRequest{Version: version, Targets: local[p], Opt: opt})
 		}
 	})
 	for _, err := range errs {
@@ -240,6 +490,115 @@ func (r *Router) Infer(targets []int, opt core.InferenceOptions) (*core.Result, 
 	return agg, nil
 }
 
+// StartHealthProbe launches the background prober: every interval it
+// health-checks each shard through the transport, marking shards up or down
+// (down shards fail requests fast with ErrUnavailable until they recover)
+// and proactively replaying the delta log to restarted workers found behind
+// the router's graph version. No-op if interval ≤ 0 or already probing;
+// Close stops it.
+func (r *Router) StartHealthProbe(interval time.Duration) {
+	if interval <= 0 || !r.probing.CompareAndSwap(false, true) {
+		return
+	}
+	r.probeStop = make(chan struct{})
+	r.probeDone = make(chan struct{})
+	go func() {
+		defer close(r.probeDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.probeStop:
+				return
+			case <-t.C:
+				r.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// Probe health-checks every shard once (the background prober calls it each
+// interval; tests call it directly to make recovery deterministic). A shard
+// answering at an older graph version — a restarted worker — is caught up
+// by delta-log replay before being marked up again.
+func (r *Router) Probe(ctx context.Context) {
+	for p := range r.health {
+		info, err := r.transport.Health(ctx, p)
+		if err != nil {
+			r.markDown(p, err)
+			continue
+		}
+		if cur := r.version.Load(); info.Version < cur {
+			if err := r.catchUp(ctx, p, info.Version); err != nil {
+				r.markDown(p, err)
+				continue
+			}
+			info.Version = cur
+		}
+		h := r.health[p]
+		h.mu.Lock()
+		h.up, h.err, h.info = true, nil, info
+		h.mu.Unlock()
+	}
+}
+
+// ShardStatus is one shard's health as reported by ShardHealth (and
+// embedded in the serving layer's /healthz and /stats).
+type ShardStatus struct {
+	// Shard is the shard id.
+	Shard int `json:"shard"`
+	// Up reports whether the shard's last transport call or probe succeeded.
+	Up bool `json:"up"`
+	// Version is the worker's graph version at its last successful probe.
+	Version uint64 `json:"version"`
+	// Nodes is the worker's local subgraph size at its last successful probe.
+	Nodes int `json:"nodes"`
+	// Err is the failure that marked the shard down (empty while up).
+	Err string `json:"err,omitempty"`
+}
+
+// ShardHealth snapshots every shard's liveness.
+func (r *Router) ShardHealth() []ShardStatus {
+	out := make([]ShardStatus, len(r.health))
+	for p, h := range r.health {
+		h.mu.Lock()
+		out[p] = ShardStatus{Shard: p, Up: h.up, Version: h.info.Version, Nodes: h.info.Nodes}
+		if !h.up && h.err != nil {
+			out[p].Err = h.err.Error()
+		}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// Healthy reports whether every shard is currently marked up.
+func (r *Router) Healthy() bool {
+	for _, h := range r.health {
+		h.mu.Lock()
+		up := h.up
+		h.mu.Unlock()
+		if !up {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops the background prober (if running) and closes the transport.
+func (r *Router) Close() error {
+	if r.probing.CompareAndSwap(true, false) {
+		close(r.probeStop)
+		<-r.probeDone
+	}
+	return r.transport.Close()
+}
+
+// localWorker reaches an in-process worker directly (tests inspect shard
+// state through it; only valid on routers built over a LocalTransport).
+func (r *Router) localWorker(p int) *Worker {
+	return r.transport.(*LocalTransport).workers[p]
+}
+
 // NumNodes reports the global serving graph's node count.
 func (r *Router) NumNodes() int { return r.global.N() }
 
@@ -252,13 +611,15 @@ func (r *Router) Shards() int { return len(r.shards) }
 // Radius reports the halo radius the partition was built for.
 func (r *Router) Radius() int { return r.radius }
 
-// ScratchBytes sums the retained pooled-scratch footprint across shards
-// (one in-flight batch per shard), mirroring Deployment.ScratchBytes for
-// the serving /stats gauge.
+// ScratchBytes sums the retained pooled-scratch footprint across shards as
+// of each shard's last successful probe (one in-flight batch per shard),
+// mirroring Deployment.ScratchBytes for the serving /stats gauge.
 func (r *Router) ScratchBytes() int {
 	total := 0
-	for _, s := range r.shards {
-		total += s.dep.ScratchBytes()
+	for _, h := range r.health {
+		h.mu.Lock()
+		total += h.info.ScratchBytes
+		h.mu.Unlock()
 	}
 	return total
 }

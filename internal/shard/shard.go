@@ -26,15 +26,36 @@
 //     the global weighted sum — X(∞) is a whole-graph quantity no subgraph
 //     can reproduce.
 //
-//   - Router fronts the shards: Infer buckets targets by owning shard, fans
-//     the per-shard calls across goroutines (internal/par), and scatters
-//     the per-shard results back into request order. ApplyDelta routes a
-//     graph.Delta to the owning shards: the global graph and stationary
-//     state absorb it first, then each shard's halo is re-expanded
-//     *incrementally* — only distances reachable through the delta's dirty
-//     rows are relaxed — and its normalized adjacency is repaired with
-//     sparse.NormalizedAdjacencyPatch, the same machinery the unsharded
-//     incremental refresh uses.
+//   - Worker holds one shard's runtime state (the local deployment plus a
+//     graph version counter) behind a small call surface: Infer, a
+//     versioned idempotent ApplyDelta, and Health. NewWorker bootstraps a
+//     shard deterministically from the model and the global graph — rerun
+//     the same partition, recompute the stationary state, cut the halo —
+//     so a worker process started with the router's inputs holds
+//     bit-identical state with no bulk transfer.
+//
+//   - Transport is the router↔worker boundary: LocalTransport dispatches
+//     to in-process Workers (the classic single-process mode),
+//     HTTPTransport speaks a length-checked binary codec (wire.go) to
+//     worker processes (WorkerHandler, cmd/naiserve -shard-worker). Errors
+//     are classified — transient (retried with backoff), stale version
+//     (healed by delta-log replay), permanent — and a shard that stays
+//     unreachable surfaces as ErrUnavailable, which the serving layer maps
+//     to 503.
+//
+//   - Router fronts the shards through a Transport: Infer buckets targets
+//     by owning shard, fans the per-shard calls across goroutines
+//     (internal/par), and scatters the per-shard results back into request
+//     order. ApplyDelta routes a graph.Delta to the owning shards: the
+//     global graph and stationary state absorb it first, then the router
+//     plans each shard's incremental halo re-expansion — only distances
+//     reachable through the delta's dirty rows are relaxed — and ships a
+//     versioned ShardDelta; the worker repairs its normalized adjacency
+//     with sparse.NormalizedAdjacencyPatch, the same machinery the
+//     unsharded incremental refresh uses. Every ShardDelta is also kept in
+//     a per-shard log, so a worker that missed deltas (crashed, restarted,
+//     partitioned) is caught up by replay — on its next Infer, or by the
+//     background health probe — without restarting the router.
 //
 // Per-target predictions and depths are batch-invariant in the engine
 // (established by the serving coalescer), so splitting one request across

@@ -133,7 +133,7 @@ func TestHaloMatchesBruteForce(t *testing.T) {
 					want++
 				}
 			}
-			got := s.dep.Graph.Adj.RowNNZ(lv)
+			got := rt.localWorker(p).dep.Graph.Adj.RowNNZ(lv)
 			if got != want {
 				t.Fatalf("shard %d: local row %d(global %d) has %d entries, want %d", p, lv, v, got, want)
 			}
@@ -163,7 +163,7 @@ func TestShardDeploymentRefreshPanics(t *testing.T) {
 		}()
 		fn()
 	}
-	dep := rt.shards[0].dep
+	dep := rt.localWorker(0).dep
 	mustPanic("Refresh", func() { dep.Refresh() })
 	mustPanic("RefreshIncremental", func() { dep.RefreshIncremental(&graph.DeltaResult{Dirty: []int{0}}) })
 	mustPanic("Stationary.Update", func() {

@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Transport is the router↔shard boundary: every call the Router makes
+// against a shard's serving state goes through one of these three methods,
+// so the same routing, delta-planning and retry logic serves shards living
+// in the router's address space (LocalTransport) or in separate worker
+// processes (HTTPTransport). Implementations must be safe for concurrent
+// callers — the router fans Infer calls out across shards and the health
+// prober runs beside them.
+//
+// Error contract: a *StaleError means the shard's graph version is behind
+// the router's (the router replays its delta log and retries); an error for
+// which IsTransient reports true is a delivery failure worth retrying
+// (connection refused, timeout); anything else is a permanent failure of
+// the call itself. Calls must respect ctx — a dead worker turns into a
+// deadline error, never a hang.
+type Transport interface {
+	// Infer runs one shard-local inference batch (targets are shard-local
+	// ids) and returns the shard's Result.
+	Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error)
+	// ApplyDelta applies one versioned shard-local delta. Deltas are
+	// idempotent by version: re-delivering an already-applied version is a
+	// successful no-op, which is what makes the router's replay safe.
+	ApplyDelta(ctx context.Context, shardID int, sd *ShardDelta) error
+	// Health probes one shard's liveness and reports its serving state.
+	Health(ctx context.Context, shardID int) (HealthInfo, error)
+	// Close releases transport resources (idle connections, local workers).
+	Close() error
+}
+
+// InferRequest is one shard-local inference call as it crosses the
+// transport: the targets in shard-local ids, the operating point, and the
+// router's graph version the answer must be computed against.
+type InferRequest struct {
+	// Version is the router's graph version; a worker whose state is behind
+	// (or ahead of) it answers with a *StaleError instead of serving from
+	// the wrong graph.
+	Version uint64
+	// Targets are shard-local node ids.
+	Targets []int
+	// Opt is the operating point, forwarded verbatim.
+	Opt core.InferenceOptions
+}
+
+// HealthInfo is one shard's health-probe report.
+type HealthInfo struct {
+	// ShardID and Shards echo the worker's position in the partition; the
+	// router's handshake rejects a worker serving the wrong shard or a
+	// different partition width.
+	ShardID int
+	Shards  int
+	// Radius is the worker's halo radius (must match the router's).
+	Radius int
+	// Nodes is the local subgraph's node count (owned + halo).
+	Nodes int
+	// GlobalNodes is the global node count the worker bootstrapped from,
+	// checked at handshake (version checks guard post-delta drift).
+	GlobalNodes int
+	// Version is the worker's graph version (1 = as bootstrapped, +1 per
+	// applied shard delta).
+	Version uint64
+	// ScratchBytes is the worker deployment's retained pooled-scratch
+	// footprint, summed into the router's /stats gauge.
+	ScratchBytes int
+}
+
+// ErrUnavailable marks a shard the router could not reach after retries —
+// the shard is down or unreachable, not the request invalid. The serving
+// layer maps it to HTTP 503 so a dead worker degrades into fast failures,
+// never hangs.
+var ErrUnavailable = errors.New("shard unavailable")
+
+// TransportError wraps a failed transport call with its retryability:
+// Transient failures (connection refused, reset, timeout) are worth a
+// retry-with-backoff; permanent ones (the worker rejected the payload) are
+// not.
+type TransportError struct {
+	Shard     int
+	Transient bool
+	Err       error
+}
+
+// Error formats the underlying failure with its shard.
+func (e *TransportError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("shard %d: %s transport error: %v", e.Shard, kind, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a transport failure worth retrying.
+func IsTransient(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te) && te.Transient
+}
+
+// StaleError reports a worker whose graph version does not match the
+// router's: Have is the worker's version, Want the version the call needed.
+// The router heals it by replaying its delta log from Have+1 — a restarted
+// worker (back at its bootstrap version) rejoins this way without the
+// router restarting.
+type StaleError struct {
+	Shard      int
+	Have, Want uint64
+}
+
+// Error formats the version gap.
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("shard %d: stale graph version %d, want %d", e.Shard, e.Have, e.Want)
+}
+
+// LocalTransport serves shards from Workers living in the router's own
+// address space — today's single-process sharding expressed through the
+// Transport API. Calls are direct method dispatch (no serialization), so
+// answers and costs are exactly the pre-transport router's; the bit-identity
+// equivalence suite pins that.
+type LocalTransport struct {
+	workers []*Worker
+}
+
+// NewLocalTransport wraps in-process workers (index = shard id).
+func NewLocalTransport(workers []*Worker) *LocalTransport {
+	return &LocalTransport{workers: workers}
+}
+
+func (t *LocalTransport) check(ctx context.Context, shardID int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if shardID < 0 || shardID >= len(t.workers) {
+		return &TransportError{Shard: shardID, Err: fmt.Errorf("no such shard (have %d)", len(t.workers))}
+	}
+	return nil
+}
+
+// Infer dispatches directly to the in-process worker.
+func (t *LocalTransport) Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error) {
+	if err := t.check(ctx, shardID); err != nil {
+		return nil, err
+	}
+	return t.workers[shardID].Infer(req)
+}
+
+// ApplyDelta dispatches directly to the in-process worker.
+func (t *LocalTransport) ApplyDelta(ctx context.Context, shardID int, sd *ShardDelta) error {
+	if err := t.check(ctx, shardID); err != nil {
+		return err
+	}
+	return t.workers[shardID].ApplyDelta(sd)
+}
+
+// Health reports the in-process worker's state (always reachable).
+func (t *LocalTransport) Health(ctx context.Context, shardID int) (HealthInfo, error) {
+	if err := t.check(ctx, shardID); err != nil {
+		return HealthInfo{}, err
+	}
+	return t.workers[shardID].Health(), nil
+}
+
+// Close is a no-op: local workers share the router's lifetime.
+func (t *LocalTransport) Close() error { return nil }

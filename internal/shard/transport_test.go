@@ -1,0 +1,393 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fastRetry keeps fault-injection tests quick: tight backoff, short HTTP
+// call timeouts.
+func fastRetry(p int) Config {
+	return Config{Shards: p, Retries: 2, RetryBackoff: time.Millisecond}
+}
+
+// startWorkers builds one NewWorker per shard from a fresh clone of the
+// fixture graph and serves each over a loopback HTTP server, returning the
+// transport dialing them. Cleanup closes the servers.
+func startWorkers(t *testing.T, p int) (*HTTPTransport, []*httptest.Server) {
+	t.Helper()
+	ds, m := fixture(t)
+	addrs := make([]string, p)
+	servers := make([]*httptest.Server, p)
+	for i := 0; i < p; i++ {
+		w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p}, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = httptest.NewServer(WorkerHandler(w))
+		addrs[i] = servers[i].URL
+		t.Cleanup(servers[i].Close)
+	}
+	return NewHTTPTransport(addrs, HTTPTransportConfig{CallTimeout: 5 * time.Second}), servers
+}
+
+// TestTransportEquivalence is the cross-transport bit-identity gate: for
+// P ∈ {1,2,4}, a router over HTTP workers must answer every operating point
+// bit-identically to the unsharded deployment, before and after every delta
+// stage — the same contract the LocalTransport suite pins.
+func TestTransportEquivalence(t *testing.T) {
+	ds, m := fixture(t)
+	for _, p := range []int{1, 2, 4} {
+		dep, err := core.NewDeployment(m, ds.Graph.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := startWorkers(t, p)
+		rt, err := NewRouterTransport(m, ds.Graph.Clone(), fastRetry(p), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAnswers(t, fmt.Sprintf("http/P=%d", p), rt, dep, ds.Split.Test)
+
+		rng := rand.New(rand.NewSource(99))
+		for di, d := range testDeltas(ds.Graph, rng) {
+			if _, err := dep.ApplyDelta(d.Clone()); err != nil {
+				t.Fatalf("P=%d delta %d: unsharded: %v", p, di, err)
+			}
+			if _, err := rt.ApplyDelta(d.Clone()); err != nil {
+				t.Fatalf("P=%d delta %d: http: %v", p, di, err)
+			}
+			targets := ds.Split.Test
+			for v := ds.Graph.N(); v < dep.Graph.N(); v++ {
+				targets = append(targets, v)
+			}
+			requireSameAnswers(t, fmt.Sprintf("http/P=%d after delta %d", p, di), rt, dep, targets)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRouterTransportHandshake: a router dialing workers built for a
+// different partition must refuse to start.
+func TestRouterTransportHandshake(t *testing.T) {
+	ds, m := fixture(t)
+	tr, _ := startWorkers(t, 2) // workers partitioned for P=2
+	cfg := fastRetry(3)         // router expects P=3
+	if _, err := NewRouterTransport(m, ds.Graph.Clone(), cfg, tr); err == nil {
+		t.Fatal("mismatched partition width accepted")
+	}
+}
+
+// flakyTransport injects transient failures and delta outages in front of a
+// real transport.
+type flakyTransport struct {
+	Transport
+	mu sync.Mutex
+	// failNext transiently fails the next N Infer/ApplyDelta calls.
+	failNext int
+	// dropDeltas transiently fails every ApplyDelta while set, simulating a
+	// worker that is unreachable for replication but owes state later.
+	dropDeltas bool
+}
+
+func (f *flakyTransport) fail(shardID int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext > 0 {
+		f.failNext--
+		return &TransportError{Shard: shardID, Transient: true, Err: errors.New("injected fault")}
+	}
+	return nil
+}
+
+func (f *flakyTransport) Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error) {
+	if err := f.fail(shardID); err != nil {
+		return nil, err
+	}
+	return f.Transport.Infer(ctx, shardID, req)
+}
+
+func (f *flakyTransport) ApplyDelta(ctx context.Context, shardID int, sd *ShardDelta) error {
+	f.mu.Lock()
+	dropping := f.dropDeltas
+	f.mu.Unlock()
+	if dropping {
+		return &TransportError{Shard: shardID, Transient: true, Err: errors.New("injected delta outage")}
+	}
+	if err := f.fail(shardID); err != nil {
+		return err
+	}
+	return f.Transport.ApplyDelta(ctx, shardID, sd)
+}
+
+func (f *flakyTransport) setDropDeltas(v bool) {
+	f.mu.Lock()
+	f.dropDeltas = v
+	f.mu.Unlock()
+}
+
+func (f *flakyTransport) setFailNext(n int) {
+	f.mu.Lock()
+	f.failNext = n
+	f.mu.Unlock()
+}
+
+// newFlakyRouter builds a router whose local workers sit behind a flaky
+// wrapper, plus the unsharded reference deployment.
+func newFlakyRouter(t *testing.T, p int) (*Router, *flakyTransport, *core.Deployment) {
+	t.Helper()
+	ds, m := fixture(t)
+	workers := make([]*Worker, p)
+	for i := range workers {
+		w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p}, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	fl := &flakyTransport{Transport: NewLocalTransport(workers)}
+	rt, err := NewRouterTransport(m, ds.Graph.Clone(), fastRetry(p), fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := core.NewDeployment(m, ds.Graph.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, fl, dep
+}
+
+// TestRetryRecoversTransientFailures: transient faults within the retry
+// budget are invisible to callers; beyond it the shard surfaces as
+// ErrUnavailable, never a hang.
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	ds, m := fixture(t)
+	rt, fl, dep := newFlakyRouter(t, 2)
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: m.K}
+	want, err := dep.Infer(ds.Split.Test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fl.setFailNext(2) // within the budget of Retries=2 (3 attempts)
+	got, err := rt.Infer(ds.Split.Test, opt)
+	if err != nil {
+		t.Fatalf("retry did not absorb transient faults: %v", err)
+	}
+	for i := range want.Pred {
+		if got.Pred[i] != want.Pred[i] || got.Depths[i] != want.Depths[i] {
+			t.Fatalf("answer drifted at %d after retries", i)
+		}
+	}
+
+	fl.setFailNext(1000) // beyond any budget
+	if _, err := rt.Infer(ds.Split.Test, opt); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("exhausted retries: got %v, want ErrUnavailable", err)
+	}
+	fl.setFailNext(0)
+	if _, err := rt.Infer(ds.Split.Test, opt); err != nil {
+		t.Fatalf("recovered transport still failing: %v", err)
+	}
+}
+
+// TestDeltaOutageHealsByReplay: a delta the router cannot deliver commits
+// anyway, and the starved shard is healed by delta-log replay on its next
+// Infer — the stale-worker path with no worker process involved.
+func TestDeltaOutageHealsByReplay(t *testing.T) {
+	ds, m := fixture(t)
+	rt, fl, dep := newFlakyRouter(t, 2)
+	rng := rand.New(rand.NewSource(99))
+	deltas := testDeltas(ds.Graph, rng)
+
+	fl.setDropDeltas(true)
+	if _, err := dep.ApplyDelta(deltas[0].Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ApplyDelta(deltas[0].Clone()); err != nil {
+		t.Fatalf("undeliverable delta failed the call: %v", err)
+	}
+	if rt.Version() != 2 {
+		t.Fatalf("router version %d after committed delta, want 2", rt.Version())
+	}
+	if rt.Healthy() {
+		t.Fatal("shards marked up despite delta outage")
+	}
+
+	fl.setDropDeltas(false)
+	opt := core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K}
+	want, err := dep.Infer(ds.Split.Test, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Infer(ds.Split.Test, opt) // stale workers → catch-up replay
+	if err != nil {
+		t.Fatalf("post-outage infer: %v", err)
+	}
+	for i := range want.Pred {
+		if got.Pred[i] != want.Pred[i] || got.Depths[i] != want.Depths[i] {
+			t.Fatalf("answer drifted at %d after replay", i)
+		}
+	}
+	if !rt.Healthy() {
+		t.Fatal("shards still marked down after successful replay")
+	}
+}
+
+// TestDeadShardFailsFast: with a worker killed, requests owned by its shard
+// fail quickly with ErrUnavailable (503 at the serving layer), the health
+// probe degrades the router, and fail-fast skips the dead shard without
+// re-paying dial timeouts.
+func TestDeadShardFailsFast(t *testing.T) {
+	ds, m := fixture(t)
+	tr, servers := startWorkers(t, 2)
+	cfg := fastRetry(2)
+	rt, err := NewRouterTransport(m, ds.Graph.Clone(), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	servers[1].Close() // kill one worker
+
+	opt := core.InferenceOptions{Mode: core.ModeFixed, TMin: 1, TMax: 1}
+	start := time.Now()
+	_, err = rt.Infer(ds.Split.Test, opt) // test targets span both shards
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("dead shard: got %v, want ErrUnavailable", err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("dead shard took %v to fail (hang?)", e)
+	}
+
+	// Probe degrades the router's health; with probing active the dead
+	// shard fails fast instead of re-dialing.
+	rt.StartHealthProbe(time.Hour) // activates fail-fast; sweeps run manually below
+	rt.Probe(context.Background())
+	if rt.Healthy() {
+		t.Fatal("router healthy with a dead worker")
+	}
+	hs := rt.ShardHealth()
+	if hs[0].Up != true || hs[1].Up != false || hs[1].Err == "" {
+		t.Fatalf("shard health %+v, want shard 1 down with an error", hs)
+	}
+	start = time.Now()
+	if _, err := rt.Infer(ds.Split.Test, opt); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("fail-fast: got %v, want ErrUnavailable", err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Fatalf("fail-fast took %v", e)
+	}
+
+	// Targets owned entirely by the live shard keep being served.
+	var live []int
+	for v := 0; v < ds.Graph.N() && len(live) < 8; v++ {
+		if rt.owner[v] == 0 {
+			live = append(live, v)
+		}
+	}
+	if _, err := rt.Infer(live, opt); err != nil {
+		t.Fatalf("live shard refused while peer down: %v", err)
+	}
+}
+
+// TestWorkerRestartRejoins is the full worker lifecycle over real sockets:
+// a worker dies, deltas keep committing, the worker restarts from its
+// deterministic bootstrap on the same address, and the router's probe
+// replays the missed deltas — answers end bit-identical to an unsharded
+// deployment that saw everything, with the router never restarting.
+func TestWorkerRestartRejoins(t *testing.T) {
+	ds, m := fixture(t)
+	const p = 2
+	cfg := fastRetry(p)
+
+	serveWorker := func(addr string) (*http.Server, string) {
+		w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var ln net.Listener
+		for attempt := 0; ; attempt++ {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if attempt > 50 {
+				t.Fatalf("rebind %s: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		srv := &http.Server{Handler: WorkerHandler(w)}
+		go srv.Serve(ln)
+		return srv, ln.Addr().String()
+	}
+
+	srv0, addr0 := serveWorker("")
+	w1, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(WorkerHandler(w1))
+	defer ts1.Close()
+
+	tr := NewHTTPTransport([]string{addr0, ts1.URL}, HTTPTransportConfig{CallTimeout: 5 * time.Second})
+	rt, err := NewRouterTransport(m, ds.Graph.Clone(), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	dep, err := core.NewDeployment(m, ds.Graph.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	deltas := testDeltas(ds.Graph, rng)
+
+	// Delta 0 lands on both workers; then worker 0 dies and deltas 1–2
+	// commit with it gone.
+	for di, d := range deltas[:3] {
+		if di == 1 {
+			srv0.Close()
+		}
+		if _, err := dep.ApplyDelta(d.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.ApplyDelta(d.Clone()); err != nil {
+			t.Fatalf("delta %d with worker down: %v", di, err)
+		}
+	}
+	rt.StartHealthProbe(time.Hour)
+	rt.Probe(context.Background())
+	if rt.Healthy() {
+		t.Fatal("router healthy with worker 0 dead")
+	}
+
+	// Restart worker 0 on the same address: fresh bootstrap, version 1.
+	srv0b, _ := serveWorker(addr0)
+	defer srv0b.Close()
+	rt.Probe(context.Background()) // finds it behind, replays deltas 0–2
+	if !rt.Healthy() {
+		t.Fatalf("restarted worker did not rejoin: %+v", rt.ShardHealth())
+	}
+
+	targets := ds.Split.Test
+	for v := ds.Graph.N(); v < dep.Graph.N(); v++ {
+		targets = append(targets, v)
+	}
+	requireSameAnswers(t, "after rejoin", rt, dep, targets)
+}

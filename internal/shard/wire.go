@@ -1,0 +1,417 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// The shard wire format: a length-agnostic binary codec for the messages
+// that cross the router↔worker HTTP boundary. Every message is
+//
+//	magic "NAIW" | format version (1 byte) | message type (1 byte) | payload
+//
+// with integers as varints (unsigned counts/ids as uvarint, signed values
+// zigzag), float64s as fixed 8-byte little-endian IEEE bits (the codec must
+// round-trip exact bits — the sharded bit-identity guarantee crosses the
+// wire with them), and slices as a uvarint count followed by the elements.
+// Decoding is allocation-bounded: every count is checked against the bytes
+// actually remaining before a slice is allocated, so a hostile or truncated
+// payload fails fast instead of ballooning the heap.
+
+const wireMagic = "NAIW"
+
+const wireVersion = 1
+
+// message types
+const (
+	msgInfer  = 1 // router → worker: InferRequest
+	msgResult = 2 // worker → router: core.Result
+	msgDelta  = 3 // router → worker: ShardDelta
+	msgHealth = 4 // worker → router: HealthInfo
+	msgError  = 5 // worker → router: structured error (stale version)
+	msgAck    = 6 // worker → router: delta applied
+)
+
+// error kinds carried by msgError
+const (
+	errKindStale    = 1
+	errKindBad      = 2
+	errKindInternal = 3
+)
+
+// wireError is the decoded form of a msgError payload.
+type wireError struct {
+	kind       int
+	have, want uint64
+	msg        string
+}
+
+func appendHeader(b []byte, msgType byte) []byte {
+	b = append(b, wireMagic...)
+	return append(b, wireVersion, msgType)
+}
+
+// checkHeader validates magic/version/type and returns the payload.
+func checkHeader(b []byte, msgType byte) ([]byte, error) {
+	if len(b) < len(wireMagic)+2 || string(b[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("shard wire: bad magic")
+	}
+	if v := b[len(wireMagic)]; v != wireVersion {
+		return nil, fmt.Errorf("shard wire: format version %d, want %d", v, wireVersion)
+	}
+	if t := b[len(wireMagic)+1]; t != msgType {
+		return nil, fmt.Errorf("shard wire: message type %d, want %d", t, msgType)
+	}
+	return b[len(wireMagic)+2:], nil
+}
+
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendInt(b []byte, v int) []byte { return binary.AppendVarint(b, int64(v)) }
+
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendInts(b []byte, v []int) []byte {
+	b = appendUint(b, uint64(len(v)))
+	for _, x := range v {
+		b = appendInt(b, x)
+	}
+	return b
+}
+
+func appendFloats(b []byte, v []float64) []byte {
+	b = appendUint(b, uint64(len(v)))
+	for _, x := range v {
+		b = appendFloat(b, x)
+	}
+	return b
+}
+
+// dec is a bounds-checked wire decoder; the first failure sticks and every
+// subsequent read returns zero values, so decode functions check err once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("shard wire: "+format, args...)
+	}
+}
+
+func (d *dec) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return int(v)
+}
+
+func (d *dec) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// count reads a slice length and rejects any count that could not possibly
+// fit in the remaining bytes at elemSize bytes per element — the bound that
+// keeps a hostile length prefix from allocating gigabytes.
+func (d *dec) count(elemSize int) int {
+	n := d.uint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)/elemSize) {
+		d.fail("count %d exceeds remaining payload (%d bytes)", n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) ints() []int {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = d.int()
+	}
+	return v
+}
+
+func (d *dec) floats() []float64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.float()
+	}
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// done verifies the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("%d trailing bytes", len(d.b))
+	}
+	return d.err
+}
+
+func encodeInferRequest(req *InferRequest) []byte {
+	b := appendHeader(nil, msgInfer)
+	b = appendUint(b, req.Version)
+	b = appendInts(b, req.Targets)
+	b = appendInt(b, int(req.Opt.Mode))
+	b = appendFloat(b, req.Opt.Ts)
+	b = appendInt(b, req.Opt.TMin)
+	b = appendInt(b, req.Opt.TMax)
+	b = appendInt(b, req.Opt.BatchSize)
+	b = appendInt(b, req.Opt.Workers)
+	flags := 0
+	if req.Opt.NoSupportRecompute {
+		flags = 1
+	}
+	return appendInt(b, flags)
+}
+
+func decodeInferRequest(b []byte) (*InferRequest, error) {
+	p, err := checkHeader(b, msgInfer)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	req := &InferRequest{Version: d.uint(), Targets: d.ints()}
+	req.Opt.Mode = core.Mode(d.int())
+	req.Opt.Ts = d.float()
+	req.Opt.TMin = d.int()
+	req.Opt.TMax = d.int()
+	req.Opt.BatchSize = d.int()
+	req.Opt.Workers = d.int()
+	req.Opt.NoSupportRecompute = d.int() != 0
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func encodeResult(res *core.Result) []byte {
+	b := appendHeader(nil, msgResult)
+	b = appendInts(b, res.Pred)
+	b = appendInts(b, res.Depths)
+	b = appendInts(b, res.NodesPerDepth)
+	b = appendInt(b, res.MACs.Stationary)
+	b = appendInt(b, res.MACs.Propagation)
+	b = appendInt(b, res.MACs.Decision)
+	b = appendInt(b, res.MACs.Combine)
+	b = appendInt(b, res.MACs.Classification)
+	b = appendInt(b, int(res.TotalTime))
+	b = appendInt(b, int(res.FPTime))
+	return appendInt(b, res.NumTargets)
+}
+
+func decodeResult(b []byte) (*core.Result, error) {
+	p, err := checkHeader(b, msgResult)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	res := &core.Result{
+		Pred:          d.ints(),
+		Depths:        d.ints(),
+		NodesPerDepth: d.ints(),
+	}
+	res.MACs.Stationary = d.int()
+	res.MACs.Propagation = d.int()
+	res.MACs.Decision = d.int()
+	res.MACs.Combine = d.int()
+	res.MACs.Classification = d.int()
+	res.TotalTime = time.Duration(d.int())
+	res.FPTime = time.Duration(d.int())
+	res.NumTargets = d.int()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func encodeShardDelta(sd *ShardDelta) []byte {
+	b := appendHeader(nil, msgDelta)
+	b = appendUint(b, sd.Version)
+	rows, cols := 0, 0
+	if sd.NewFeatures != nil {
+		rows, cols = sd.NewFeatures.Rows, sd.NewFeatures.Cols
+	}
+	b = appendInt(b, rows)
+	b = appendInt(b, cols)
+	if sd.NewFeatures != nil {
+		for i := 0; i < rows; i++ {
+			for _, v := range sd.NewFeatures.Row(i) {
+				b = appendFloat(b, v)
+			}
+		}
+	}
+	b = appendInts(b, sd.NewLabels)
+	b = appendFloats(b, sd.NewDeg)
+	b = appendInts(b, sd.Src)
+	b = appendInts(b, sd.Dst)
+	b = appendFloat(b, sd.Scale)
+	b = appendInt(b, sd.SumMACs)
+	b = appendFloats(b, sd.WeightedSum)
+	b = appendInts(b, sd.DegIdx)
+	b = appendFloats(b, sd.DegVal)
+	return appendInts(b, sd.DirtyLocal)
+}
+
+func decodeShardDelta(b []byte) (*ShardDelta, error) {
+	p, err := checkHeader(b, msgDelta)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: p}
+	sd := &ShardDelta{Version: d.uint()}
+	rows, cols := d.int(), d.int()
+	if d.err == nil {
+		switch {
+		case rows < 0 || cols < 0:
+			d.fail("negative feature shape %dx%d", rows, cols)
+		case rows > 0 && cols > 0:
+			if uint64(rows)*uint64(cols) > uint64(len(d.b)/8) {
+				d.fail("feature matrix %dx%d exceeds remaining payload (%d bytes)", rows, cols, len(d.b))
+				break
+			}
+			m := mat.New(rows, cols)
+			for i := range m.Data {
+				m.Data[i] = d.float()
+			}
+			sd.NewFeatures = m
+		}
+	}
+	sd.NewLabels = d.ints()
+	sd.NewDeg = d.floats()
+	sd.Src = d.ints()
+	sd.Dst = d.ints()
+	sd.Scale = d.float()
+	sd.SumMACs = d.int()
+	sd.WeightedSum = d.floats()
+	sd.DegIdx = d.ints()
+	sd.DegVal = d.floats()
+	sd.DirtyLocal = d.ints()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+func encodeHealthInfo(h HealthInfo) []byte {
+	b := appendHeader(nil, msgHealth)
+	b = appendInt(b, h.ShardID)
+	b = appendInt(b, h.Shards)
+	b = appendInt(b, h.Radius)
+	b = appendInt(b, h.Nodes)
+	b = appendInt(b, h.GlobalNodes)
+	b = appendUint(b, h.Version)
+	return appendInt(b, h.ScratchBytes)
+}
+
+func decodeHealthInfo(b []byte) (HealthInfo, error) {
+	p, err := checkHeader(b, msgHealth)
+	if err != nil {
+		return HealthInfo{}, err
+	}
+	d := &dec{b: p}
+	h := HealthInfo{
+		ShardID:     d.int(),
+		Shards:      d.int(),
+		Radius:      d.int(),
+		Nodes:       d.int(),
+		GlobalNodes: d.int(),
+	}
+	h.Version = d.uint()
+	h.ScratchBytes = d.int()
+	if err := d.done(); err != nil {
+		return HealthInfo{}, err
+	}
+	return h, nil
+}
+
+func encodeWireError(kind int, have, want uint64, msg string) []byte {
+	b := appendHeader(nil, msgError)
+	b = appendInt(b, kind)
+	b = appendUint(b, have)
+	b = appendUint(b, want)
+	b = appendUint(b, uint64(len(msg)))
+	return append(b, msg...)
+}
+
+func decodeWireError(b []byte) (wireError, error) {
+	p, err := checkHeader(b, msgError)
+	if err != nil {
+		return wireError{}, err
+	}
+	d := &dec{b: p}
+	e := wireError{kind: d.int(), have: d.uint(), want: d.uint()}
+	e.msg = string(d.bytes())
+	if err := d.done(); err != nil {
+		return wireError{}, err
+	}
+	return e, nil
+}
+
+func encodeAck() []byte { return appendHeader(nil, msgAck) }
+
+func decodeAck(b []byte) error {
+	p, err := checkHeader(b, msgAck)
+	if err != nil {
+		return err
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("shard wire: %d trailing bytes in ack", len(p))
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// TestWireRoundTrip: every message type must decode back to exactly what was
+// encoded — including float64 bit patterns (negative zero, subnormals, huge
+// magnitudes), since the bit-identity guarantee crosses the wire with them.
+func TestWireRoundTrip(t *testing.T) {
+	req := &InferRequest{
+		Version: 7,
+		Targets: []int{0, 5, 1 << 30},
+		Opt: core.InferenceOptions{Mode: core.ModeDistance, Ts: 1.0 / 3.0,
+			TMin: 1, TMax: 4, BatchSize: 128, Workers: 3, NoSupportRecompute: true},
+	}
+	gotReq, err := decodeInferRequest(encodeInferRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, gotReq) {
+		t.Fatalf("InferRequest: %+v != %+v", gotReq, req)
+	}
+
+	res := &core.Result{
+		Pred:          []int{1, 0, 3},
+		Depths:        []int{2, 1, 4},
+		NodesPerDepth: []int{0, 10, 20, 5},
+		TotalTime:     123 * time.Microsecond,
+		FPTime:        45 * time.Microsecond,
+		NumTargets:    3,
+	}
+	res.MACs = core.MACBreakdown{Stationary: 1, Propagation: 2, Decision: 3, Combine: 4, Classification: 5}
+	gotRes, err := decodeResult(encodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, gotRes) {
+		t.Fatalf("Result: %+v != %+v", gotRes, res)
+	}
+
+	feat := mat.New(2, 3)
+	copy(feat.Data, []float64{0, math.Copysign(0, -1), 1.0 / 3.0,
+		-math.MaxFloat64, math.SmallestNonzeroFloat64, -1e-308})
+	sd := &ShardDelta{
+		Version:     9,
+		NewFeatures: feat,
+		NewLabels:   []int{0, 1},
+		NewDeg:      []float64{1.5, 2.25},
+		Src:         []int{0, 1},
+		Dst:         []int{1, 0},
+		Scale:       1e308,
+		SumMACs:     42,
+		WeightedSum: []float64{0.1, -0.2, 0.3},
+		DegIdx:      []int{3},
+		DegVal:      []float64{7.75},
+		DirtyLocal:  []int{0, 1, 3},
+	}
+	gotSD, err := decodeShardDelta(encodeShardDelta(sd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sd, gotSD) {
+		t.Fatalf("ShardDelta: %+v != %+v", gotSD, sd)
+	}
+	for i := range feat.Data {
+		if math.Float64bits(gotSD.NewFeatures.Data[i]) != math.Float64bits(feat.Data[i]) {
+			t.Fatalf("feature bits drifted at %d", i)
+		}
+	}
+
+	// A features-free delta (the common case) round-trips with a nil matrix.
+	bare := &ShardDelta{Version: 2, Scale: 0.5, WeightedSum: []float64{1}}
+	gotBare, err := decodeShardDelta(encodeShardDelta(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBare.NewFeatures != nil || gotBare.Version != 2 || gotBare.Scale != 0.5 {
+		t.Fatalf("bare ShardDelta: %+v", gotBare)
+	}
+
+	h := HealthInfo{ShardID: 1, Shards: 4, Radius: 3, Nodes: 100, GlobalNodes: 300,
+		Version: 17, ScratchBytes: 1 << 20}
+	gotH, err := decodeHealthInfo(encodeHealthInfo(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("HealthInfo: %+v != %+v", gotH, h)
+	}
+
+	we, err := decodeWireError(encodeWireError(errKindStale, 3, 5, "behind"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.kind != errKindStale || we.have != 3 || we.want != 5 || we.msg != "behind" {
+		t.Fatalf("wireError: %+v", we)
+	}
+
+	if err := decodeAck(encodeAck()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireRejectsBadPayloads: wrong magic/version/type, truncation at every
+// byte boundary, trailing garbage, and hostile length prefixes must all fail
+// with an error — never panic, never allocate unboundedly.
+func TestWireRejectsBadPayloads(t *testing.T) {
+	good := encodeInferRequest(&InferRequest{Version: 1, Targets: []int{1, 2, 3}})
+
+	if _, err := decodeInferRequest([]byte("XXXX\x01\x01rest")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := decodeInferRequest([]byte("NAIW\x63\x01")); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := decodeResult(good); err == nil {
+		t.Fatal("wrong message type accepted")
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := decodeInferRequest(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeInferRequest(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+
+	// A hostile count: header + uvarint(2^40) with no elements behind it.
+	hostile := appendHeader(nil, msgResult)
+	hostile = appendUint(hostile, 1<<40)
+	if _, err := decodeResult(hostile); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+
+	// A hostile feature shape in a delta.
+	hd := appendHeader(nil, msgDelta)
+	hd = appendUint(hd, 1)    // version
+	hd = appendInt(hd, 1<<30) // rows
+	hd = appendInt(hd, 1<<30) // cols
+	if _, err := decodeShardDelta(hd); err == nil {
+		t.Fatal("hostile feature shape accepted")
+	}
+	hd2 := appendHeader(nil, msgDelta)
+	hd2 = appendUint(hd2, 1)
+	hd2 = appendInt(hd2, -1)
+	hd2 = appendInt(hd2, 4)
+	if _, err := decodeShardDelta(hd2); err == nil {
+		t.Fatal("negative feature shape accepted")
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at every decoder; the contract under
+// fuzzing is simply no panic and no runaway allocation (the count bound).
+func FuzzWireDecode(f *testing.F) {
+	f.Add(encodeInferRequest(&InferRequest{Version: 1, Targets: []int{0, 1}}))
+	f.Add(encodeResult(&core.Result{Pred: []int{1}, Depths: []int{2}, NumTargets: 1}))
+	f.Add(encodeShardDelta(&ShardDelta{Version: 2, Src: []int{0}, Dst: []int{1},
+		WeightedSum: []float64{1, 2}}))
+	f.Add(encodeHealthInfo(HealthInfo{ShardID: 1, Shards: 2, Version: 1}))
+	f.Add(encodeWireError(errKindStale, 1, 2, "x"))
+	f.Add(encodeAck())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = decodeInferRequest(b)
+		_, _ = decodeResult(b)
+		_, _ = decodeShardDelta(b)
+		_, _ = decodeHealthInfo(b)
+		_, _ = decodeWireError(b)
+		_ = decodeAck(b)
+	})
+}

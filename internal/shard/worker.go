@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// Worker is one shard's serving state behind the Transport boundary: a
+// core.Deployment over the shard's owned+halo subgraph plus its stationary
+// view. It is the process-side half of distributed sharding — the router
+// keeps the global graph, ownership and halo bookkeeping, and the worker
+// holds only the bulky hot-path state (features, normalized adjacency rows,
+// propagation scratch) for its subgraph. A worker is built either in the
+// router's process (LocalTransport) or by a separate `naiserve
+// -shard-worker` process serving the wire protocol (HTTPTransport).
+//
+// State changes arrive as versioned ShardDeltas the router plans from its
+// global graph: version 1 is the bootstrapped state, each applied delta
+// bumps it by one. Application is idempotent by version — replaying an old
+// delta is a no-op, a gap is a *StaleError the router heals by replaying
+// its log — which is what lets a restarted worker (back at version 1)
+// rejoin a long-running router.
+//
+// Concurrency: Infer calls run under a read lock (any number concurrently,
+// matching core.Deployment), ApplyDelta under the write lock.
+type Worker struct {
+	mu      sync.RWMutex
+	shardID int
+	shards  int
+	radius  int
+	// globalN is the global node count at bootstrap (handshake check).
+	globalN int
+	dep     *core.Deployment
+	st      *core.Stationary
+	version uint64
+}
+
+// NewWorker bootstraps shard shardID of cfg.Shards from the global graph:
+// it runs the same deterministic partition and subgraph cut the router
+// runs, so a worker process launched with the router's model, graph and
+// flags holds bit-identical shard state without any bulk state transfer.
+// The worker starts at graph version 1, matching a fresh router.
+func NewWorker(m *core.Model, g *graph.Graph, cfg Config, shardID int) (*Worker, error) {
+	if g.F() != m.FeatureDim {
+		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	radius := cfg.Radius
+	if radius <= 0 {
+		radius = m.K
+	}
+	asg, err := Partition(g, cfg.Shards, cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if shardID < 0 || shardID >= asg.P {
+		return nil, fmt.Errorf("shard: worker id %d outside [0,%d)", shardID, asg.P)
+	}
+	st := core.ComputeStationary(g.Adj, g.Features, m.Gamma)
+	universe := haloUniverse(g, asg.Owned[shardID], radius)
+	dep, lst, err := buildShardState(m, g, st, universe)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{shardID: shardID, shards: asg.P, radius: radius,
+		globalN: g.N(), dep: dep, st: lst, version: 1}, nil
+}
+
+// newWorker wraps already-built shard state (the local router's path, which
+// shares one partition and one global stationary across all P workers).
+func newWorker(shardID, shards, radius, globalN int, dep *core.Deployment, st *core.Stationary) *Worker {
+	return &Worker{shardID: shardID, shards: shards, radius: radius,
+		globalN: globalN, dep: dep, st: st, version: 1}
+}
+
+// haloUniverse lists the nodes within radius hops of the owned set, in
+// ascending global order — one shard's local id space.
+func haloUniverse(g *graph.Graph, owned []int, radius int) []int {
+	return graph.SupportingSets(g.Adj, owned, radius)[0]
+}
+
+// buildShardState cuts one shard's subgraph out of the global graph and
+// deploys it. The local adjacency keeps every universe row truncated to
+// universe columns — interior rows are complete by the halo construction,
+// boundary rows keep exactly the in-universe half of their edges so the
+// local matrix stays symmetric (delta routing relies on that for reverse
+// neighbor lookups). The normalized adjacency is built from *global* looped
+// degrees and the stationary view shares the global weighted sum, so every
+// stored value equals the unsharded one bitwise.
+func buildShardState(m *core.Model, g *graph.Graph, gst *core.Stationary, universe []int) (*core.Deployment, *core.Stationary, error) {
+	toLocal := graph.NewIndex(g.N())
+	graph.IndexSet(universe, toLocal)
+	raw := g.Adj.ExtractRowsTruncated(universe, toLocal, len(universe))
+	labels := make([]int, len(universe))
+	for lv, v := range universe {
+		labels[lv] = g.Labels[v]
+	}
+	lg, err := graph.New(raw, g.Features.GatherRows(universe), labels, g.NumClasses)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := gst.LocalView(universe)
+	adj := sparse.NormalizedAdjacencyWithDegrees(raw, m.Gamma, st.LoopedDeg)
+	dep, err := core.NewDeploymentWithState(m, lg, adj, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep, st, nil
+}
+
+// Infer answers one shard-local batch. A version mismatch — the worker's
+// graph is behind (restarted worker) or ahead of the requested version —
+// returns a *StaleError instead of an answer from the wrong graph; the
+// router replays its delta log and retries.
+func (w *Worker) Infer(req *InferRequest) (*core.Result, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if req.Version != 0 && w.version != req.Version {
+		return nil, &StaleError{Shard: w.shardID, Have: w.version, Want: req.Version}
+	}
+	return w.dep.Infer(req.Targets, req.Opt)
+}
+
+// ApplyDelta applies one versioned shard-local delta, leaving the worker's
+// state bit-identical to a from-scratch rebuild over the merged graph (the
+// router plans the delta so that holds; TestIncrementalMatchesRebuild pins
+// it). Idempotent by version: an already-applied version is a successful
+// no-op, a version gap is a *StaleError carrying the worker's current
+// version so the router can replay from there.
+func (w *Worker) ApplyDelta(sd *ShardDelta) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case sd.Version <= w.version:
+		return nil // replay of an already-applied delta
+	case sd.Version != w.version+1:
+		return &StaleError{Shard: w.shardID, Have: w.version, Want: sd.Version - 1}
+	}
+
+	ld := graph.Delta{Features: sd.NewFeatures, Labels: sd.NewLabels, Src: sd.Src, Dst: sd.Dst}
+	ldr, err := w.dep.Graph.ApplyDelta(ld)
+	if err != nil {
+		return fmt.Errorf("shard %d: local delta: %w", w.shardID, err)
+	}
+
+	// Re-sync the stationary view with the router's updated global state:
+	// the weighted sum, scalars and looped degrees all carry the router's
+	// exact bits, so sharded stationary rows stay bitwise global.
+	w.st.Scale = sd.Scale
+	w.st.SumMACs = sd.SumMACs
+	copy(w.st.WeightedSum, sd.WeightedSum)
+	for k, lv := range sd.DegIdx {
+		w.st.LoopedDeg[lv] = sd.DegVal[k]
+	}
+	w.st.LoopedDeg = append(w.st.LoopedDeg, sd.NewDeg...)
+	w.version = sd.Version
+
+	if len(ldr.Dirty) == 0 && len(sd.DegIdx) == 0 {
+		return nil
+	}
+
+	// Value-dirty local rows, mirroring the unsharded RefreshIncremental:
+	// every local row whose global looped degree changed, every local row
+	// adjacent to one (its D̃^{−γ} column factors moved — the local matrix
+	// is symmetric under truncation, so the node's own row names exactly
+	// the rows referencing it), and every row whose local entry set changed.
+	localN := w.dep.Graph.N()
+	mark := make([]bool, localN)
+	lAdj := w.dep.Graph.Adj
+	for _, lv := range sd.DirtyLocal {
+		mark[lv] = true
+		for _, lu := range lAdj.RowIndices(lv) {
+			mark[lu] = true
+		}
+	}
+	for _, lv := range ldr.Dirty {
+		mark[lv] = true
+	}
+	valDirty := make([]int, 0, len(ldr.Dirty))
+	for lv, m := range mark {
+		if m {
+			valDirty = append(valDirty, lv)
+		}
+	}
+	w.dep.Adj = sparse.NormalizedAdjacencyPatch(lAdj, w.dep.Model.Gamma, w.dep.Adj, w.st.LoopedDeg, valDirty)
+	return nil
+}
+
+// Health reports the worker's serving state for the router's probes.
+func (w *Worker) Health() HealthInfo {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return HealthInfo{
+		ShardID:      w.shardID,
+		Shards:       w.shards,
+		Radius:       w.radius,
+		Nodes:        w.dep.Graph.N(),
+		GlobalNodes:  w.globalN,
+		Version:      w.version,
+		ScratchBytes: w.dep.ScratchBytes(),
+	}
+}
+
+// ShardDelta is one shard's versioned share of a global graph delta, fully
+// planned by the router (which owns the global graph and halo bookkeeping)
+// and mechanically applied by the worker. It is the unit the wire codec
+// serializes and the router's replay log stores.
+type ShardDelta struct {
+	// Version is the router graph version this delta produces; the worker
+	// applies it only at Version−1 (idempotent replay otherwise).
+	Version uint64
+	// NewFeatures/NewLabels/NewDeg describe nodes appended to the local
+	// subgraph (newcomers entering the halo or owned set), in local id
+	// order; NewDeg carries their global looped degrees.
+	NewFeatures *mat.Matrix
+	NewLabels   []int
+	NewDeg      []float64
+	// Src/Dst are local-id edges to merge: the delta's own in-universe
+	// edges plus the full rows of newcomers and of boundary nodes promoted
+	// to the interior.
+	Src, Dst []int
+	// Scale, SumMACs and WeightedSum re-sync the stationary view; the
+	// weighted sum is the router's exact global bits (a whole-graph
+	// quantity no subgraph can recompute).
+	Scale       float64
+	SumMACs     int
+	WeightedSum []float64
+	// DegIdx/DegVal patch the looped degrees of pre-existing local rows
+	// whose global degree changed.
+	DegIdx []int
+	DegVal []float64
+	// DirtyLocal lists every local row whose global adjacency row changed
+	// (including newcomers) — the seeds of the normalized-adjacency repair.
+	DirtyLocal []int
+}
