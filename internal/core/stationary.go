@@ -161,14 +161,15 @@ func (s *Stationary) Update(adj *sparse.CSR, x *mat.Matrix, dirty []int) {
 }
 
 // LocalView returns a Stationary restricted to the given (local-id-ordered)
-// node set: entry i of the view is node nodes[i] of s. The view *shares*
-// s.WeightedSum — the global weighted feature sum is one whole-graph
-// quantity, and sharing the slice means an incremental Update of the owning
-// state is immediately visible to every view, keeping sharded stationary
-// rows bitwise identical to the unsharded ones — while LoopedDeg is a
-// gathered copy in local order. Scale and SumMACs are value copies the view
-// owner must re-sync after each Update of s (shard.Router does). Views are
-// read-only state for inference: calling Update on one panics.
+// node set: entry i of the view is node nodes[i] of s. The view owns its
+// storage — WeightedSum is a copy of the global weighted feature sum (a
+// whole-graph quantity the view cannot recompute; exact float64 bits, so
+// sharded stationary rows stay bitwise identical to the unsharded ones) and
+// LoopedDeg is gathered in local order. The view owner must re-sync
+// WeightedSum, Scale and SumMACs after each Update of s (shard workers do,
+// from the values their versioned deltas carry — owning a copy is what lets
+// one worker replay an old delta while another applies the newest). Views
+// are read-only state for inference: calling Update on one panics.
 func (s *Stationary) LocalView(nodes []int) *Stationary {
 	looped := make([]float64, len(nodes))
 	for i, v := range nodes {
@@ -177,7 +178,7 @@ func (s *Stationary) LocalView(nodes []int) *Stationary {
 	return &Stationary{
 		Gamma:       s.Gamma,
 		Scale:       s.Scale,
-		WeightedSum: s.WeightedSum,
+		WeightedSum: append([]float64(nil), s.WeightedSum...),
 		LoopedDeg:   looped,
 		SumMACs:     s.SumMACs,
 	}

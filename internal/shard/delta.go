@@ -65,11 +65,16 @@ func (r *Router) ApplyDeltaContext(ctx context.Context, d graph.Delta) (*graph.D
 	for p, s := range r.shards {
 		plans[p] = r.planShardDelta(s, newOwned[p], d, dr, version)
 	}
-	r.version.Store(version)
+	// Log the plans and publish the new version under one critical section:
+	// the background prober snapshots the version and replays the log up to
+	// it, so a version must never be visible before every entry it implies
+	// is logged.
 	r.logMu.Lock()
 	for p := range plans {
 		r.deltaLog[p] = append(r.deltaLog[p], plans[p])
+		r.expNodes[p] = len(r.shards[p].universe)
 	}
+	r.version.Store(version)
 	r.logMu.Unlock()
 
 	var firstErr error

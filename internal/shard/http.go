@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 // The worker wire protocol: three endpoints carrying the binary codec of
@@ -97,14 +98,22 @@ func writeWire(rw http.ResponseWriter, b []byte) {
 }
 
 // writeWorkerError maps a worker-side failure onto the wire: stale versions
-// are 409 with a structured msgError (the router heals them), anything else
-// is a 500 the router treats as a permanent call failure.
+// are 409 with a structured msgError (the router heals them), payloads the
+// worker rejected before mutating anything (inconsistent shard-delta
+// indices, graph-level validation) are 400, anything else is a 500. The
+// router treats both 400 and 500 as permanent call failures.
 func writeWorkerError(rw http.ResponseWriter, err error) {
 	var stale *StaleError
 	if errors.As(err, &stale) {
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.WriteHeader(http.StatusConflict)
 		_, _ = rw.Write(encodeWireError(errKindStale, stale.Have, stale.Want, err.Error()))
+		return
+	}
+	var bad *badDeltaError
+	var val *graph.ValidationError
+	if errors.As(err, &bad) || errors.As(err, &val) {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
 	http.Error(rw, err.Error(), http.StatusInternalServerError)
@@ -205,9 +214,13 @@ func (t *HTTPTransport) call(ctx context.Context, shardID int, method, path stri
 	case resp.StatusCode == http.StatusOK:
 		return data, nil
 	case resp.StatusCode == http.StatusConflict:
-		we, err := decodeWireError(data)
-		if err != nil || we.kind != errKindStale {
-			return nil, &TransportError{Shard: shardID, Err: fmt.Errorf("bad 409 payload: %v", err)}
+		we, derr := decodeWireError(data)
+		switch {
+		case derr != nil:
+			return nil, &TransportError{Shard: shardID, Err: fmt.Errorf("bad 409 payload: %v", derr)}
+		case we.kind != errKindStale:
+			return nil, &TransportError{Shard: shardID,
+				Err: fmt.Errorf("unexpected 409 error kind %d: %s", we.kind, we.msg)}
 		}
 		return nil, &StaleError{Shard: shardID, Have: we.have, Want: we.want}
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:

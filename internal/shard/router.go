@@ -96,7 +96,12 @@ type Router struct {
 	global *graph.Graph
 	st     *core.Stationary
 	radius int
-	owner  []int32
+	// bootGlobalN is the global node count at bootstrap. Workers report the
+	// count they bootstrapped from (it never changes on the worker — deltas
+	// are tracked by version), so validation compares against this, not the
+	// grown r.global.N().
+	bootGlobalN int
+	owner       []int32
 	// ownedCount[p] tracks shard p's owned-node count for least-loaded
 	// placement of unattached arrivals.
 	ownedCount []int
@@ -113,8 +118,13 @@ type Router struct {
 	// to i+2; never truncated, so any worker version since bootstrap can be
 	// replayed forward (the memory cost of restartability — a delta-rate
 	// high enough to care about would warrant snapshotting instead).
+	// expNodes[p] is shard p's expected local node count at the current
+	// version (probe validation compares workers against it). Both are
+	// guarded by logMu, and the version is published under logMu too, so a
+	// reader holding it sees a consistent (version, log, expNodes) triple.
 	logMu    sync.Mutex
 	deltaLog [][]*ShardDelta
+	expNodes []int
 
 	health    []*shardHealth
 	probing   atomic.Bool
@@ -156,6 +166,7 @@ func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignme
 	workers := make([]*Worker, asg.P)
 	for p := 0; p < asg.P; p++ {
 		r.shards[p] = buildRuntime(g, asg.Owned[p], radius)
+		r.expNodes[p] = len(r.shards[p].universe)
 		dep, lst, err := buildShardState(m, g, st, r.shards[p].universe)
 		if err != nil {
 			return nil, err
@@ -198,6 +209,7 @@ func NewRouterTransport(m *core.Model, g *graph.Graph, cfg Config, t Transport) 
 	r.transport = t
 	for p := 0; p < asg.P; p++ {
 		r.shards[p] = buildRuntime(g, asg.Owned[p], radius)
+		r.expNodes[p] = len(r.shards[p].universe)
 	}
 	for p := range r.health {
 		if err := r.handshake(context.Background(), p); err != nil {
@@ -216,17 +228,19 @@ func newRouterCommon(m *core.Model, g *graph.Graph, st *core.Stationary, asg *As
 		cfg.RetryBackoff = defaultRetryBackoff
 	}
 	r := &Router{
-		model:      m,
-		global:     g,
-		st:         st,
-		radius:     radius,
-		owner:      asg.Owner,
-		ownedCount: make([]int, asg.P),
-		shards:     make([]*shardRuntime, asg.P),
-		retries:    cfg.Retries,
-		backoff:    cfg.RetryBackoff,
-		deltaLog:   make([][]*ShardDelta, asg.P),
-		health:     make([]*shardHealth, asg.P),
+		model:       m,
+		global:      g,
+		st:          st,
+		radius:      radius,
+		bootGlobalN: g.N(),
+		owner:       asg.Owner,
+		ownedCount:  make([]int, asg.P),
+		shards:      make([]*shardRuntime, asg.P),
+		retries:     cfg.Retries,
+		backoff:     cfg.RetryBackoff,
+		deltaLog:    make([][]*ShardDelta, asg.P),
+		expNodes:    make([]int, asg.P),
+		health:      make([]*shardHealth, asg.P),
 	}
 	for p := range r.health {
 		r.health[p] = &shardHealth{}
@@ -269,15 +283,10 @@ func (r *Router) handshake(ctx context.Context, p int) error {
 	if err != nil {
 		return err
 	}
+	if err := r.validateWorker(p, info); err != nil {
+		return err
+	}
 	switch {
-	case info.ShardID != p:
-		return fmt.Errorf("worker serves shard %d, want %d", info.ShardID, p)
-	case info.Shards != len(r.shards):
-		return fmt.Errorf("worker partition width %d, want %d", info.Shards, len(r.shards))
-	case info.Radius != r.radius:
-		return fmt.Errorf("worker halo radius %d, want %d", info.Radius, r.radius)
-	case info.GlobalNodes != r.global.N():
-		return fmt.Errorf("worker built from %d global nodes, want %d", info.GlobalNodes, r.global.N())
 	case info.Nodes != len(r.shards[p].universe):
 		return fmt.Errorf("worker subgraph has %d nodes, want %d", info.Nodes, len(r.shards[p].universe))
 	case info.Version != r.version.Load():
@@ -287,6 +296,27 @@ func (r *Router) handshake(ctx context.Context, p int) error {
 	h.mu.Lock()
 	h.up, h.err, h.info = true, nil, info
 	h.mu.Unlock()
+	return nil
+}
+
+// validateWorker checks the partition parameters a worker can never
+// legitimately disagree with the router on, whatever graph version it is
+// at: its position in the partition and the bootstrap inputs it rebuilt
+// its state from. Both the startup handshake and the probe's re-admission
+// path run it — a worker restarted with different flags or a different
+// graph must be rejected, not silently rejoined (it would serve answers
+// that are not bit-identical).
+func (r *Router) validateWorker(p int, info HealthInfo) error {
+	switch {
+	case info.ShardID != p:
+		return fmt.Errorf("worker serves shard %d, want %d", info.ShardID, p)
+	case info.Shards != len(r.shards):
+		return fmt.Errorf("worker partition width %d, want %d", info.Shards, len(r.shards))
+	case info.Radius != r.radius:
+		return fmt.Errorf("worker halo radius %d, want %d", info.Radius, r.radius)
+	case info.GlobalNodes != r.bootGlobalN:
+		return fmt.Errorf("worker built from %d global nodes, want %d", info.GlobalNodes, r.bootGlobalN)
+	}
 	return nil
 }
 
@@ -390,8 +420,18 @@ func (r *Router) catchUp(ctx context.Context, p int, have uint64) error {
 	}
 	r.logMu.Lock()
 	// deltaLog[p][i] produces version i+2, so versions have+1..cur are
-	// entries have−1..cur−2.
-	replay := append([]*ShardDelta(nil), r.deltaLog[p][have-1:cur-1]...)
+	// entries have−1..cur−2. ApplyDeltaContext publishes the version under
+	// logMu only after logging its plans, so the log always reaches cur−1;
+	// clamp defensively anyway — an out-of-range slice here would crash the
+	// router.
+	lo, hi := int(have-1), int(cur-1)
+	if n := len(r.deltaLog[p]); hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	replay := append([]*ShardDelta(nil), r.deltaLog[p][lo:hi]...)
 	r.logMu.Unlock()
 	for _, sd := range replay {
 		if err := r.transport.ApplyDelta(ctx, p, sd); err != nil {
@@ -520,26 +560,64 @@ func (r *Router) StartHealthProbe(interval time.Duration) {
 // Probe health-checks every shard once (the background prober calls it each
 // interval; tests call it directly to make recovery deterministic). A shard
 // answering at an older graph version — a restarted worker — is caught up
-// by delta-log replay before being marked up again.
+// by delta-log replay, then re-validated against the full handshake checks
+// (partition position, bootstrap inputs, node count at the caught-up
+// version) before being marked up again: a worker restarted with different
+// flags or a different graph must stay rejected, not silently rejoin.
 func (r *Router) Probe(ctx context.Context) {
 	for p := range r.health {
-		info, err := r.transport.Health(ctx, p)
-		if err != nil {
-			r.markDown(p, err)
-			continue
-		}
-		if cur := r.version.Load(); info.Version < cur {
-			if err := r.catchUp(ctx, p, info.Version); err != nil {
-				r.markDown(p, err)
-				continue
-			}
-			info.Version = cur
-		}
-		h := r.health[p]
-		h.mu.Lock()
-		h.up, h.err, h.info = true, nil, info
-		h.mu.Unlock()
+		r.probeShard(ctx, p)
 	}
+}
+
+// probeShard runs one shard's health check, catch-up and re-validation.
+func (r *Router) probeShard(ctx context.Context, p int) {
+	info, err := r.transport.Health(ctx, p)
+	if err != nil {
+		r.markDown(p, err)
+		return
+	}
+	if err := r.validateWorker(p, info); err != nil {
+		r.markDown(p, err)
+		return
+	}
+	if cur := r.version.Load(); info.Version < cur {
+		if err := r.catchUp(ctx, p, info.Version); err != nil {
+			r.markDown(p, err)
+			return
+		}
+		// Re-fetch so the version and node count reflect the caught-up
+		// worker (the replay grew its subgraph), and re-check the static
+		// parameters from the fresh sample.
+		if info, err = r.transport.Health(ctx, p); err != nil {
+			r.markDown(p, err)
+			return
+		}
+		if err := r.validateWorker(p, info); err != nil {
+			r.markDown(p, err)
+			return
+		}
+	}
+	r.logMu.Lock()
+	cur, exp := r.version.Load(), r.expNodes[p]
+	r.logMu.Unlock()
+	switch {
+	case info.Version > cur:
+		r.markDown(p, fmt.Errorf("worker at graph version %d, ahead of router %d", info.Version, cur))
+		return
+	case info.Version < cur:
+		// A delta landed between the catch-up and this check; its delivery
+		// path marks the shard itself, and the next sweep re-validates —
+		// don't overwrite that verdict from an already-stale sample.
+		return
+	case info.Nodes != exp:
+		r.markDown(p, fmt.Errorf("worker subgraph has %d nodes at version %d, want %d", info.Nodes, cur, exp))
+		return
+	}
+	h := r.health[p]
+	h.mu.Lock()
+	h.up, h.err, h.info = true, nil, info
+	h.mu.Unlock()
 }
 
 // ShardStatus is one shard's health as reported by ShardHealth (and

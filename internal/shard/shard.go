@@ -22,9 +22,10 @@
 //     *global* looped degrees (sparse.NormalizedAdjacencyWithDegrees), so
 //     stored Â entries equal the global ones bitwise even though boundary
 //     rows are truncated; and the stationary state is a localized *view* of
-//     the global rank-1 decomposition (core.Stationary.LocalView), sharing
-//     the global weighted sum — X(∞) is a whole-graph quantity no subgraph
-//     can reproduce.
+//     the global rank-1 decomposition (core.Stationary.LocalView), carrying
+//     an exact copy of the global weighted sum — X(∞) is a whole-graph
+//     quantity no subgraph can reproduce, and each worker's copy is
+//     re-synced by its versioned deltas.
 //
 //   - Worker holds one shard's runtime state (the local deployment plus a
 //     graph version counter) behind a small call surface: Infer, a

@@ -121,6 +121,20 @@ func (e *StaleError) Error() string {
 	return fmt.Sprintf("shard %d: stale graph version %d, want %d", e.Shard, e.Have, e.Want)
 }
 
+// badDeltaError reports a ShardDelta whose indices or lengths are
+// inconsistent with the worker's state — a malformed (or hostile) payload
+// the worker rejects before mutating anything. The HTTP handler maps it to
+// 400, which the router classifies as a permanent call failure.
+type badDeltaError struct {
+	shard  int
+	reason string
+}
+
+// Error formats the rejection with its shard.
+func (e *badDeltaError) Error() string {
+	return fmt.Sprintf("shard %d: bad delta: %s", e.shard, e.reason)
+}
+
 // LocalTransport serves shards from Workers living in the router's own
 // address space — today's single-process sharding expressed through the
 // Transport API. Calls are direct method dispatch (no serialization), so

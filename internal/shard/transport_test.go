@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 )
 
 // fastRetry keeps fault-injection tests quick: tight backoff, short HTTP
@@ -390,4 +392,193 @@ func TestWorkerRestartRejoins(t *testing.T) {
 		targets = append(targets, v)
 	}
 	requireSameAnswers(t, "after rejoin", rt, dep, targets)
+}
+
+// TestHostileDeltaRejected: a ShardDelta whose shard-specific indices or
+// lengths are inconsistent with the worker's state must be rejected before
+// anything mutates — a *badDeltaError in-process, HTTP 400 over the wire —
+// leaving the worker's version and serving state untouched. A mid-apply
+// panic here would corrupt the worker permanently (the graph mutated, the
+// version not bumped, the next replay re-appending state).
+func TestHostileDeltaRejected(t *testing.T) {
+	ds, m := fixture(t)
+	w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ds.Graph.F()
+	okSum := make([]float64, f)
+	hostile := map[string]*ShardDelta{
+		"degree index out of range": {Version: 2, WeightedSum: okSum,
+			DegIdx: []int{1 << 20}, DegVal: []float64{1}},
+		"negative degree index": {Version: 2, WeightedSum: okSum,
+			DegIdx: []int{-1}, DegVal: []float64{1}},
+		"dirty row out of range": {Version: 2, WeightedSum: okSum,
+			DirtyLocal: []int{1 << 20}},
+		"degree idx/val length mismatch": {Version: 2, WeightedSum: okSum,
+			DegIdx: []int{0}},
+		"new-degree count mismatch": {Version: 2, WeightedSum: okSum,
+			NewFeatures: mat.New(2, f), NewLabels: []int{0, 0}, NewDeg: []float64{1}},
+		"weighted sum length mismatch": {Version: 2, WeightedSum: make([]float64, f+1)},
+	}
+	for name, sd := range hostile {
+		err := w.ApplyDelta(sd)
+		var bad *badDeltaError
+		if !errors.As(err, &bad) {
+			t.Fatalf("%s: got %v, want *badDeltaError", name, err)
+		}
+		if v := w.Health().Version; v != 1 {
+			t.Fatalf("%s: worker version %d after rejected delta, want 1", name, v)
+		}
+	}
+
+	// Over the wire the same rejections are 400s, as is a delta failing the
+	// graph-level validation (edge endpoint outside the grown id space).
+	srv := httptest.NewServer(WorkerHandler(w))
+	defer srv.Close()
+	hostile["edge endpoint out of range"] = &ShardDelta{Version: 2, WeightedSum: okSum,
+		Src: []int{1 << 20}, Dst: []int{0}}
+	for name, sd := range hostile {
+		resp, err := http.Post(srv.URL+"/shard/delta", "application/octet-stream",
+			bytes.NewReader(encodeShardDelta(sd)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if v := w.Health().Version; v != 1 {
+		t.Fatalf("worker version %d after rejected deltas, want 1", v)
+	}
+	if _, err := w.Infer(&InferRequest{Version: 1, Targets: []int{0},
+		Opt: core.InferenceOptions{Mode: core.ModeFixed, TMin: 1, TMax: 1}}); err != nil {
+		t.Fatalf("worker broken after rejected deltas: %v", err)
+	}
+}
+
+// TestProbeRejectsMismatchedWorker: the probe's re-admission path must run
+// the same validation as the startup handshake — a worker restarted on the
+// same address with different flags (here: wrong halo radius, wrong shard
+// id) must stay down, not silently rejoin and serve non-bit-identical
+// answers; a correctly restarted worker then rejoins as usual.
+func TestProbeRejectsMismatchedWorker(t *testing.T) {
+	ds, m := fixture(t)
+	const p = 2
+
+	serveAt := func(addr string, cfg Config, shardID int) (*http.Server, string) {
+		t.Helper()
+		w, err := NewWorker(m, ds.Graph.Clone(), cfg, shardID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var ln net.Listener
+		for attempt := 0; ; attempt++ {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if attempt > 50 {
+				t.Fatalf("rebind %s: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		srv := &http.Server{Handler: WorkerHandler(w)}
+		go srv.Serve(ln)
+		return srv, ln.Addr().String()
+	}
+
+	srv0, addr0 := serveAt("", Config{Shards: p}, 0)
+	srv1, addr1 := serveAt("", Config{Shards: p}, 1)
+	defer srv1.Close()
+	tr := NewHTTPTransport([]string{addr0, addr1}, HTTPTransportConfig{CallTimeout: 5 * time.Second})
+	rt, err := NewRouterTransport(m, ds.Graph.Clone(), fastRetry(p), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	dep, err := core.NewDeployment(m, ds.Graph.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv0.Close()
+	rt.Probe(context.Background())
+	if rt.Healthy() {
+		t.Fatal("router healthy with worker 0 dead")
+	}
+
+	// An impostor with the wrong halo radius on the right address: the
+	// probe must refuse to re-admit it.
+	imp, _ := serveAt(addr0, Config{Shards: p, Radius: 1}, 0)
+	rt.Probe(context.Background())
+	if hs := rt.ShardHealth(); hs[0].Up || hs[0].Err == "" {
+		t.Fatalf("mismatched-radius worker re-admitted: %+v", hs[0])
+	}
+	imp.Close()
+
+	// The wrong shard on the right address: same refusal.
+	imp, _ = serveAt(addr0, Config{Shards: p}, 1)
+	rt.Probe(context.Background())
+	if hs := rt.ShardHealth(); hs[0].Up {
+		t.Fatalf("wrong-shard worker re-admitted: %+v", hs[0])
+	}
+	imp.Close()
+
+	// The real worker restarted: rejoins, answers stay bit-identical.
+	srv0b, _ := serveAt(addr0, Config{Shards: p}, 0)
+	defer srv0b.Close()
+	rt.Probe(context.Background())
+	if !rt.Healthy() {
+		t.Fatalf("restarted worker did not rejoin: %+v", rt.ShardHealth())
+	}
+	requireSameAnswers(t, "after mismatch recovery", rt, dep, ds.Split.Test)
+}
+
+// TestProbeDeltaRace hammers Probe from concurrent goroutines while deltas
+// apply: the probe snapshots the router's version and replays the delta log
+// up to it, so the log must never lag a visible version (the out-of-range
+// replay slice would panic the router). Run under -race.
+func TestProbeDeltaRace(t *testing.T) {
+	ds, m := fixture(t)
+	rt, err := NewRouter(m, ds.Graph.Clone(), fastRetry(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rt.Probe(context.Background())
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		for _, d := range testDeltas(rt.global, rng) {
+			if _, err := rt.ApplyDelta(d); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	rt.Probe(context.Background())
+	if !rt.Healthy() {
+		t.Fatalf("router unhealthy after concurrent probes: %+v", rt.ShardHealth())
+	}
 }

@@ -321,7 +321,11 @@ func decodeShardDelta(b []byte) (*ShardDelta, error) {
 		case rows < 0 || cols < 0:
 			d.fail("negative feature shape %dx%d", rows, cols)
 		case rows > 0 && cols > 0:
-			if uint64(rows)*uint64(cols) > uint64(len(d.b)/8) {
+			// Bound each dimension before their product: rows*cols can wrap
+			// for hostile shapes around 2^33, and rows ≤ maxElems makes the
+			// division check exact (rows*cols > maxElems ⇔ cols > maxElems/rows)
+			// with no multiplication to overflow.
+			if maxElems := len(d.b) / 8; rows > maxElems || cols > maxElems/rows {
 				d.fail("feature matrix %dx%d exceeds remaining payload (%d bytes)", rows, cols, len(d.b))
 				break
 			}

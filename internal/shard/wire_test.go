@@ -154,6 +154,15 @@ func TestWireRejectsBadPayloads(t *testing.T) {
 	if _, err := decodeShardDelta(hd2); err == nil {
 		t.Fatal("negative feature shape accepted")
 	}
+	// A shape whose element product wraps uint64 (2^32 · 2^32 = 2^64 ≡ 0)
+	// must not slip past the allocation bound.
+	hd3 := appendHeader(nil, msgDelta)
+	hd3 = appendUint(hd3, 1)
+	hd3 = appendInt(hd3, 1<<32)
+	hd3 = appendInt(hd3, 1<<32)
+	if _, err := decodeShardDelta(hd3); err == nil {
+		t.Fatal("overflowing feature shape accepted")
+	}
 }
 
 // FuzzWireDecode throws arbitrary bytes at every decoder; the contract under

@@ -71,7 +71,8 @@ func NewWorker(m *core.Model, g *graph.Graph, cfg Config, shardID int) (*Worker,
 }
 
 // newWorker wraps already-built shard state (the local router's path, which
-// shares one partition and one global stationary across all P workers).
+// computes one partition and one global stationary, then cuts each of the P
+// workers its own view).
 func newWorker(shardID, shards, radius, globalN int, dep *core.Deployment, st *core.Stationary) *Worker {
 	return &Worker{shardID: shardID, shards: shards, radius: radius,
 		globalN: globalN, dep: dep, st: st, version: 1}
@@ -89,8 +90,8 @@ func haloUniverse(g *graph.Graph, owned []int, radius int) []int {
 // boundary rows keep exactly the in-universe half of their edges so the
 // local matrix stays symmetric (delta routing relies on that for reverse
 // neighbor lookups). The normalized adjacency is built from *global* looped
-// degrees and the stationary view shares the global weighted sum, so every
-// stored value equals the unsharded one bitwise.
+// degrees and the stationary view carries an exact copy of the global
+// weighted sum, so every stored value equals the unsharded one bitwise.
 func buildShardState(m *core.Model, g *graph.Graph, gst *core.Stationary, universe []int) (*core.Deployment, *core.Stationary, error) {
 	toLocal := graph.NewIndex(g.N())
 	graph.IndexSet(universe, toLocal)
@@ -140,6 +141,9 @@ func (w *Worker) ApplyDelta(sd *ShardDelta) error {
 	case sd.Version != w.version+1:
 		return &StaleError{Shard: w.shardID, Have: w.version, Want: sd.Version - 1}
 	}
+	if err := w.validateDelta(sd); err != nil {
+		return err
+	}
 
 	ld := graph.Delta{Features: sd.NewFeatures, Labels: sd.NewLabels, Src: sd.Src, Dst: sd.Dst}
 	ldr, err := w.dep.Graph.ApplyDelta(ld)
@@ -187,6 +191,45 @@ func (w *Worker) ApplyDelta(sd *ShardDelta) error {
 		}
 	}
 	w.dep.Adj = sparse.NormalizedAdjacencyPatch(lAdj, w.dep.Model.Gamma, w.dep.Adj, w.st.LoopedDeg, valDirty)
+	return nil
+}
+
+// validateDelta bounds-checks every shard-specific field of sd against the
+// worker's pre-delta state, before anything mutates. Deltas arrive off the
+// network (POST /shard/delta, and the current version is readable via GET
+// /shard/health), so a hostile or buggy peer must fail fast with a
+// *badDeltaError (HTTP 400) — never panic mid-apply with the graph already
+// mutated but the version not yet bumped, which would corrupt the worker
+// permanently on the next replay. The graph-level fields (Src/Dst/
+// NewFeatures/NewLabels) are covered by graph.ApplyDelta's own
+// validate-before-mutate contract.
+func (w *Worker) validateDelta(sd *ShardDelta) error {
+	bad := func(format string, args ...any) error {
+		return &badDeltaError{shard: w.shardID, reason: fmt.Sprintf(format, args...)}
+	}
+	curN := w.dep.Graph.N()
+	newN := 0
+	if sd.NewFeatures != nil {
+		newN = sd.NewFeatures.Rows
+	}
+	switch {
+	case len(sd.NewDeg) != newN:
+		return bad("%d new degrees for %d new nodes", len(sd.NewDeg), newN)
+	case len(sd.DegIdx) != len(sd.DegVal):
+		return bad("%d degree indices for %d degree values", len(sd.DegIdx), len(sd.DegVal))
+	case len(sd.WeightedSum) != len(w.st.WeightedSum):
+		return bad("weighted sum length %d, want %d", len(sd.WeightedSum), len(w.st.WeightedSum))
+	}
+	for _, lv := range sd.DegIdx {
+		if lv < 0 || lv >= curN {
+			return bad("degree index %d outside local rows [0,%d)", lv, curN)
+		}
+	}
+	for _, lv := range sd.DirtyLocal {
+		if lv < 0 || lv >= curN+newN {
+			return bad("dirty row %d outside grown local rows [0,%d)", lv, curN+newN)
+		}
+	}
 	return nil
 }
 
