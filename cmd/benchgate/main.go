@@ -15,7 +15,10 @@
 // catches a codec/transport regression making it cost much more), the
 // hot-node result-cache throughput ratio on the Zipf workload (-min-cache-speedup,
 // default 2×, 0 skips) and the overload goodput ratio at 4× saturation
-// (-min-overload-goodput, default 0.7, 0 skips) — the ratios are
+// (-min-overload-goodput, default 0.7, 0 skips), the int8-vs-f64 kernel
+// throughput ratio on the DRAM-resident SpMM workload (-min-quant-speedup,
+// default 2×, 0 skips) and the int8 tier's top-1 agreement with the f64
+// reference (-min-top1-agreement, default 0.99, 0 skips) — the ratios are
 // same-process, same-hardware numbers, so they port across runners even
 // though the absolute req/s numbers do not. Wall-clock ns/op differs across runner hardware, and the
 // Workers>1 variant's B/op moves with GC-driven sync.Pool flushes under
@@ -46,6 +49,8 @@ func main() {
 	minTransportRatio := flag.Float64("min-transport-ratio", 0.15, "required http-vs-local shard transport throughput ratio (0 skips)")
 	minCacheSpeedup := flag.Float64("min-cache-speedup", 2.0, "required cached-vs-uncached Zipf serving throughput ratio (0 skips)")
 	minOverloadGoodput := flag.Float64("min-overload-goodput", 0.7, "required 4x-vs-1x saturation goodput ratio (0 skips)")
+	minQuantSpeedup := flag.Float64("min-quant-speedup", 2.0, "required int8-vs-f64 kernel throughput ratio (0 skips)")
+	minTop1Agreement := flag.Float64("min-top1-agreement", 0.99, "required int8-vs-f64 top-1 classification agreement (0 skips)")
 	gateList := flag.String("gate", "infer/distance-multibatch",
 		"comma-separated benchmark names whose B/op is gated")
 	flag.Parse()
@@ -173,6 +178,30 @@ func main() {
 		} else if ov.GoodputRatio < *minOverloadGoodput {
 			fmt.Printf("benchgate: FAIL — 4x saturation goodput ratio %.2f below required %.2f\n",
 				ov.GoodputRatio, *minOverloadGoodput)
+			failed = true
+		}
+	}
+
+	pr := cur.Precision
+	fmt.Printf("\nprecision %-30s %8.3f f64 GFLOPS, f32 %.2fx, int8 %.2fx (top-1 agreement %.3f, max |dlogit| %.3f)\n",
+		pr.Workload, pr.F64GFLOPS, pr.F32SpeedupX, pr.Int8SpeedupX, pr.Int8Top1Agreement, pr.MaxAbsLogitDelta)
+	if *minQuantSpeedup > 0 {
+		if pr.F64GFLOPS == 0 || pr.Int8GFLOPS == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no precision measurement")
+			failed = true
+		} else if pr.Int8SpeedupX < *minQuantSpeedup {
+			fmt.Printf("benchgate: FAIL — int8 kernel speedup %.2fx below required %.2fx\n",
+				pr.Int8SpeedupX, *minQuantSpeedup)
+			failed = true
+		}
+	}
+	if *minTop1Agreement > 0 {
+		if pr.Int8Top1Agreement == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no int8 agreement measurement")
+			failed = true
+		} else if pr.Int8Top1Agreement < *minTop1Agreement {
+			fmt.Printf("benchgate: FAIL — int8 top-1 agreement %.3f below required %.3f\n",
+				pr.Int8Top1Agreement, *minTop1Agreement)
 			failed = true
 		}
 	}

@@ -33,6 +33,7 @@ var exportedDocPackages = map[string]bool{
 	"internal/shard":  true,
 	"internal/qos":    true,
 	"internal/cache":  true,
+	"internal/kernel": true,
 	"internal/mat":    true,
 	"internal/par":    true,
 }

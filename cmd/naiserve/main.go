@@ -28,6 +28,14 @@
 // (-shard-health-interval) replays missed deltas to workers that restart —
 // a worker rejoin never requires restarting the router.
 //
+// With -precision {f64,f32,int8} propagation runs at a relaxed precision
+// tier: f32 halves the propagation bandwidth, int8 quantizes it (symmetric
+// per-tensor, int32 accumulation). f64 stays the bit-pinned default; the
+// accuracy deltas of the relaxed tiers are measured in BENCH_infer.json and
+// bounded by cmd/benchgate. The whole fleet serves one tier — a router
+// rejects workers bootstrapped at a different tier at handshake, and a
+// racing mismatched request is a 409. /stats reports the active tier.
+//
 // With -cache-size N (default 4096 entries; 0 disables) each node's final
 // prediction and realized depth is cached across requests, so hot nodes
 // under skewed traffic skip the inference pipeline entirely; graph deltas
@@ -78,6 +86,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/qos"
 	"repro/internal/scalable"
@@ -108,6 +117,7 @@ func main() {
 	defaultDeadline := flag.Duration("default-deadline", 2*time.Second, "per-request deadline when the client sends no X-Deadline-Ms (0 disables)")
 	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap on client-requested X-Deadline-Ms deadlines (0 = no cap)")
 	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant quotas in targets/sec, e.g. 'free=100:200,paid=1000:2000:4,*=50' (tenant=rate[:burst[:weight]]; empty admits all)")
+	precision := flag.String("precision", "f64", "propagation precision tier: f64 (bit-pinned reference), f32, int8 (quantized; see /stats and BENCH_infer.json for accuracy deltas). Router and workers must agree — a mismatch is rejected at handshake")
 	shedMode := flag.Bool("shed-mode", false, "degraded mode: when overloaded, serve cache hits and fixed-depth work, shed adaptive cache misses with 429")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
@@ -122,6 +132,10 @@ func main() {
 		fail(err)
 	}
 	shardCount, workerAddrs, err := parseShards(*shardsFlag)
+	if err != nil {
+		fail(err)
+	}
+	prec, err := kernel.ParsePrecision(*precision)
 	if err != nil {
 		fail(err)
 	}
@@ -185,13 +199,13 @@ func main() {
 		if *tmax > 0 {
 			radius = *tmax
 		}
-		w, werr := shard.NewWorker(m, g, shard.Config{Shards: shardCount, Radius: radius}, *shardWorker)
+		w, werr := shard.NewWorker(m, g, shard.Config{Shards: shardCount, Radius: radius, Precision: prec}, *shardWorker)
 		if werr != nil {
 			fail(werr)
 		}
 		h := w.Health()
-		fmt.Printf("shard worker %d/%d on %s: %d local nodes (of %d), halo radius %d\n",
-			*shardWorker, shardCount, *addr, h.Nodes, h.GlobalNodes, h.Radius)
+		fmt.Printf("shard worker %d/%d on %s: %d local nodes (of %d), halo radius %d, precision %s\n",
+			*shardWorker, shardCount, *addr, h.Nodes, h.GlobalNodes, h.Radius, h.Precision)
 		runServer(&http.Server{
 			Addr:         *addr,
 			Handler:      shard.WorkerHandler(w),
@@ -211,6 +225,9 @@ func main() {
 		if dep, err = core.NewDeployment(m, g); err != nil {
 			fail(err)
 		}
+		// T_s tuning reads the f64 stationary state regardless of tier, so
+		// the relaxed mirrors are installed after the deployment is built.
+		dep.SetPrecision(prec)
 	}
 
 	// No Workers knob: a coalesced flush is exactly one Algorithm 1 batch
@@ -254,7 +271,7 @@ func main() {
 	if workerAddrs != nil {
 		tr := shard.NewHTTPTransport(workerAddrs, shard.HTTPTransportConfig{})
 		rt, rerr := shard.NewRouterTransport(m, g,
-			shard.Config{Shards: len(workerAddrs), Radius: iopt.TMax, Retries: *shardRetries}, tr)
+			shard.Config{Shards: len(workerAddrs), Radius: iopt.TMax, Retries: *shardRetries, Precision: prec}, tr)
 		if rerr != nil {
 			fail(fmt.Errorf("dialing shard workers: %w (are all workers up, built from the same model/graph/depth flags?)", rerr))
 		}
@@ -262,11 +279,11 @@ func main() {
 		if *shardHealthInterval > 0 {
 			rt.StartHealthProbe(*shardHealthInterval)
 		}
-		fmt.Printf("distributed: %d shard workers (%s), halo radius %d, retries=%d, health every %v\n",
-			rt.Shards(), *shardsFlag, rt.Radius(), *shardRetries, *shardHealthInterval)
+		fmt.Printf("distributed: %d shard workers (%s), halo radius %d, precision %s, retries=%d, health every %v\n",
+			rt.Shards(), *shardsFlag, rt.Radius(), rt.Precision(), *shardRetries, *shardHealthInterval)
 		backend = rt
 	} else if shardCount > 1 {
-		rt, rerr := shard.NewRouter(m, g, shard.Config{Shards: shardCount, Radius: iopt.TMax})
+		rt, rerr := shard.NewRouter(m, g, shard.Config{Shards: shardCount, Radius: iopt.TMax, Precision: prec})
 		if rerr != nil {
 			fail(rerr)
 		}
@@ -299,8 +316,8 @@ func main() {
 	} else {
 		fmt.Println("result cache: disabled")
 	}
-	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, shards=%s, max-batch=%d, max-wait=%v)\n",
-		g.N(), g.M(), *addr, *mode, *shardsFlag, *maxBatch, *maxWait)
+	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, shards=%s, precision=%s, max-batch=%d, max-wait=%v)\n",
+		g.N(), g.M(), *addr, *mode, *shardsFlag, prec, *maxBatch, *maxWait)
 	runServer(&http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/sparse"
@@ -235,7 +236,7 @@ func TestSamplePeersIsolatedNode(t *testing.T) {
 func TestQuantizeRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	vals := mat.Randn(1, 100, 3, rng).Data
-	q, scale := quantize(vals)
+	q, scale := kernel.Quantize(vals)
 	maxErr := 0.0
 	for i, v := range vals {
 		err := math.Abs(float64(q[i])*scale - v)
@@ -249,7 +250,7 @@ func TestQuantizeRoundTrip(t *testing.T) {
 }
 
 func TestQuantizeAllZeros(t *testing.T) {
-	q, scale := quantize([]float64{0, 0, 0})
+	q, scale := kernel.Quantize([]float64{0, 0, 0})
 	if scale != 1 {
 		t.Fatalf("zero-tensor scale %v", scale)
 	}

@@ -1,10 +1,9 @@
 package baselines
 
 import (
-	"math"
-
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/sparse"
@@ -22,34 +21,11 @@ type QuantizedLinear struct {
 	Bias       []float64
 }
 
-// quantize maps values to int8 with scale = maxabs/127 (scale 1 for all-zero).
-func quantize(values []float64) ([]int8, float64) {
-	maxAbs := 0.0
-	for _, v := range values {
-		if a := math.Abs(v); a > maxAbs {
-			maxAbs = a
-		}
-	}
-	scale := maxAbs / 127
-	if scale == 0 {
-		scale = 1
-	}
-	out := make([]int8, len(values))
-	for i, v := range values {
-		q := math.RoundToEven(v / scale)
-		if q > 127 {
-			q = 127
-		} else if q < -127 {
-			q = -127
-		}
-		out[i] = int8(q)
-	}
-	return out, scale
-}
-
-// NewQuantizedLinear converts a float weight matrix and bias row.
+// NewQuantizedLinear converts a float weight matrix and bias row. The
+// quantization recipe (symmetric per-tensor, scale = maxabs/127) lives in
+// internal/kernel and is shared with the int8 propagation tier.
 func NewQuantizedLinear(w *mat.Matrix, bias []float64) *QuantizedLinear {
-	q, scale := quantize(w.Data)
+	q, scale := kernel.Quantize(w.Data)
 	return &QuantizedLinear{
 		Rows: w.Rows, Cols: w.Cols, W: q, WScale: scale,
 		Bias: append([]float64(nil), bias...),
@@ -61,7 +37,7 @@ func (l *QuantizedLinear) Forward(x *mat.Matrix) *mat.Matrix {
 	if x.Cols != l.Rows {
 		panic("baselines: quantized linear shape mismatch")
 	}
-	x8, xScale := quantize(x.Data)
+	x8, xScale := kernel.Quantize(x.Data)
 	out := mat.New(x.Rows, l.Cols)
 	deq := xScale * l.WScale
 	for i := 0; i < x.Rows; i++ {

@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// legacyQuantize is the recipe that lived in this package before the
+// quantization primitives were hoisted into internal/kernel, kept verbatim
+// as the regression reference: the hoist must not change a single output
+// bit, or every int8 artifact (quantized classifiers, the int8 propagation
+// tier) silently shifts.
+func legacyQuantize(values []float64) ([]int8, float64) {
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]int8, len(values))
+	for i, v := range values {
+		q := math.RoundToEven(v / scale)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		out[i] = int8(q)
+	}
+	return out, scale
+}
+
+func TestQuantizeMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]float64{
+		nil,
+		{0, 0, 0},
+		{127, -127, 128.4, -128.4, 0.5, -0.5, 1.5, -1.5},
+	}
+	for trial := 0; trial < 100; trial++ {
+		vals := make([]float64, 1+rng.Intn(300))
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+		cases = append(cases, vals)
+	}
+	for ci, vals := range cases {
+		wantQ, wantScale := legacyQuantize(vals)
+		gotQ, gotScale := kernel.Quantize(vals)
+		if gotScale != wantScale {
+			t.Fatalf("case %d: scale %v, legacy %v", ci, gotScale, wantScale)
+		}
+		for i := range wantQ {
+			if gotQ[i] != wantQ[i] {
+				t.Fatalf("case %d: q[%d] = %d, legacy %d", ci, i, gotQ[i], wantQ[i])
+			}
+		}
+	}
+}
+
+func TestQuantizedLinearMatchesLegacyQuantizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := mat.Randn(17, 5, 0.7, rng)
+	bias := make([]float64, 5)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	l := NewQuantizedLinear(w, bias)
+	wantW, wantScale := legacyQuantize(w.Data)
+	if l.WScale != wantScale {
+		t.Fatalf("WScale %v, legacy %v", l.WScale, wantScale)
+	}
+	for i := range wantW {
+		if l.W[i] != wantW[i] {
+			t.Fatalf("W[%d] = %d, legacy %d", i, l.W[i], wantW[i])
+		}
+	}
+}

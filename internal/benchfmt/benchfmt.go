@@ -145,6 +145,31 @@ type OverloadStats struct {
 	GoodputRatio      float64 `json:"goodput_ratio"`
 }
 
+// PrecisionStats records the relaxed-precision kernel benchmark: the same
+// propagation workload run through the f64 reference SpMM and the f32/int8
+// tiers, plus the accuracy cost of serving quantized. Kernel throughput is
+// effective GFLOP-equivalents — 2·nnz·f fused multiply-adds per multiply,
+// whatever the element width — so F32SpeedupX/Int8SpeedupX are bandwidth
+// wins at identical arithmetic. Int8Top1Agreement is the fraction of test
+// nodes whose final class at the int8 tier matches the f64 reference on the
+// benchmark workload, and MaxAbsLogitDelta the largest per-class logit
+// drift; cmd/benchgate holds floors under Int8SpeedupX and
+// Int8Top1Agreement (same-process, same-hardware ratios — portable).
+type PrecisionStats struct {
+	Workload          string  `json:"workload"`
+	Rows              int     `json:"rows"`
+	F                 int     `json:"f"`
+	NNZ               int     `json:"nnz"`
+	F64GFLOPS         float64 `json:"f64_gflops"`
+	F32GFLOPS         float64 `json:"f32_gflops"`
+	Int8GFLOPS        float64 `json:"int8_gflops"`
+	F32SpeedupX       float64 `json:"f32_speedup_x"`
+	Int8SpeedupX      float64 `json:"int8_speedup_x"`
+	F32Top1Agreement  float64 `json:"f32_top1_agreement"`
+	Int8Top1Agreement float64 `json:"int8_top1_agreement"`
+	MaxAbsLogitDelta  float64 `json:"max_abs_logit_delta"`
+}
+
 // File is the full BENCH_infer.json document.
 type File struct {
 	Dataset    string             `json:"dataset"`
@@ -162,6 +187,7 @@ type File struct {
 	Transport  TransportStats     `json:"transport"`
 	Cache      CachedServingStats `json:"cache"`
 	Overload   OverloadStats      `json:"overload"`
+	Precision  PrecisionStats     `json:"precision"`
 }
 
 // Load reads and parses a BENCH_infer.json file.

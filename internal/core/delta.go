@@ -69,6 +69,9 @@ func (d *Deployment) RefreshIncremental(dr *graph.DeltaResult) {
 	sort.Ints(valDirty)
 	d.Adj = sparse.NormalizedAdjacencyPatch(adj, d.Model.Gamma, d.Adj,
 		d.stationary.LoopedDeg, valDirty)
+	// Relaxed-tier mirrors are lowered views of Adj/Features; re-derive
+	// them so they track the patched values (no-op at the f64 tier).
+	d.RefreshPrecision()
 }
 
 // Window returns the per-target outputs for targets[lo:hi] of the Infer call

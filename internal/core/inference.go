@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/sparse"
 )
@@ -169,6 +170,12 @@ type Deployment struct {
 	rcache    *cache.Cache
 	rcacheCfg cache.Config
 
+	// prec is the active arithmetic tier (SetPrecision); relaxed holds the
+	// lowered operand mirrors of the f32/int8 tiers, nil at the default f64
+	// tier — which keeps this file's reference path provably untouched.
+	prec    kernel.Precision
+	relaxed *relaxedState
+
 	scratch sync.Pool // *inferScratch
 }
 
@@ -197,6 +204,7 @@ func (d *Deployment) Refresh() {
 	}
 	d.Adj = sparse.NormalizedAdjacency(d.Graph.Adj, d.Model.Gamma)
 	d.stationary = ComputeStationary(d.Graph.Adj, d.Graph.Features, d.Model.Gamma)
+	d.RefreshPrecision()
 	// A full rebuild means the caller mutated the graph arbitrarily behind
 	// the deployment's back: bump the version and drop every cached answer
 	// (there is no dirty report to localize the eviction with).
@@ -246,6 +254,20 @@ type inferScratch struct {
 	tloc []int
 	// arena backs the transient gathered-row matrices of decide/classify.
 	arena arena
+
+	// Relaxed-tier scratch (precision.go); untouched at the f64 tier.
+	// slab32 backs the TMax float32 propagation buffers, x8 the per-hop
+	// quantized activations, sub32/sub8 the sub-CSR's gathered tier values,
+	// acc32 the fused kernel's int32 accumulator, prevRows the previous
+	// hop's live-row list, isT/bulkRows the target/bulk row split.
+	slab32   []float32
+	x8       []int8
+	sub32    []float32
+	sub8     []int8
+	acc32    []int32
+	prevRows []int
+	isT      []bool
+	bulkRows []int
 }
 
 // growScratch resizes a scratch buffer to need elements: grown geometrically
@@ -286,7 +308,9 @@ func (sc *inferScratch) ensureLocal(tmax, s, f int) []*mat.Matrix {
 func (sc *inferScratch) bytes() int {
 	return cap(sc.slab)*8 + cap(sc.toLocal)*4 + cap(sc.visited) + cap(sc.rm) +
 		(cap(sc.sub.RowPtr)+cap(sc.sub.Col)+cap(sc.localRows)+cap(sc.tloc))*8 +
-		cap(sc.sub.Val)*8 + cap(sc.arena.buf)*8
+		cap(sc.sub.Val)*8 + cap(sc.arena.buf)*8 +
+		(cap(sc.slab32)+cap(sc.sub32)+cap(sc.acc32))*4 + cap(sc.x8) + cap(sc.sub8) +
+		(cap(sc.prevRows)+cap(sc.bulkRows))*8 + cap(sc.isT)
 }
 
 // arena is a bump allocator for matrices that live only within one
@@ -429,6 +453,12 @@ func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error)
 // |S|×f matrices over the batch's hop-0 supporting ball S instead of
 // full-graph n×f buffers, with a global→local remap bridging the two.
 func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferScratch) *Result {
+	if d.relaxed != nil {
+		// Relaxed tiers run their own mirror of this function
+		// (precision.go); keeping the dispatch here is what makes the f64
+		// reference path below provably inert to the precision feature.
+		return d.inferBatchRelaxed(targets, opt, sc)
+	}
 	m := d.Model
 	g := d.Graph
 	res := &Result{

@@ -109,3 +109,30 @@ func maxWorkers(n int) int {
 	}
 	return w
 }
+
+// ColBlockBytes bounds the bytes of one dense-row segment touched per CSR
+// row by the blocked SpMM kernels: the destination segment and every gathered
+// source segment stay within an L1-sized footprint, so one block pass over a
+// CSR row never cycles its own working set out of cache. Kernels agree on
+// the budget here for the same reason they agree on Threshold.
+const ColBlockBytes = 16 << 10
+
+// ColBlock returns the dense-column block width for a cache-blocked
+// sparse×dense pass over rows of elemSize-byte elements: the full width when
+// a whole row already fits the ColBlockBytes budget (the common case for
+// narrow feature matrices — blocking then degenerates to the unblocked
+// kernel), otherwise the widest span that fits, floored so the inner loops
+// stay long enough to amortize the per-block row walk.
+func ColBlock(cols, elemSize int) int {
+	if cols <= 0 || elemSize <= 0 {
+		return cols
+	}
+	bw := ColBlockBytes / elemSize
+	if bw >= cols {
+		return cols
+	}
+	if bw < 16 {
+		bw = 16
+	}
+	return bw
+}

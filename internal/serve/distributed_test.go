@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/shard"
 )
 
@@ -19,6 +20,12 @@ import (
 // dialing them, and a serve.Server fronting the router. The router handle
 // is returned so tests can drive probes directly.
 func newDistributedServer(t *testing.T, p int, cfg Config) (*Server, *shard.Router, []*httptest.Server) {
+	return newDistributedServerAt(t, p, cfg, kernel.PrecisionF64)
+}
+
+// newDistributedServerAt is newDistributedServer with the whole fleet —
+// workers and router — bootstrapped at an explicit precision tier.
+func newDistributedServerAt(t *testing.T, p int, cfg Config, prec kernel.Precision) (*Server, *shard.Router, []*httptest.Server) {
 	t.Helper()
 	ds, m := fixture(t)
 	if cfg.Opt.TMax == 0 {
@@ -27,7 +34,7 @@ func newDistributedServer(t *testing.T, p int, cfg Config) (*Server, *shard.Rout
 	addrs := make([]string, p)
 	servers := make([]*httptest.Server, p)
 	for i := 0; i < p; i++ {
-		w, err := shard.NewWorker(m, ds.Graph.Clone(), shard.Config{Shards: p}, i)
+		w, err := shard.NewWorker(m, ds.Graph.Clone(), shard.Config{Shards: p, Precision: prec}, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +44,7 @@ func newDistributedServer(t *testing.T, p int, cfg Config) (*Server, *shard.Rout
 	}
 	tr := shard.NewHTTPTransport(addrs, shard.HTTPTransportConfig{CallTimeout: 5 * time.Second})
 	rt, err := shard.NewRouterTransport(m, ds.Graph.Clone(),
-		shard.Config{Shards: p, Retries: 1, RetryBackoff: time.Millisecond}, tr)
+		shard.Config{Shards: p, Retries: 1, RetryBackoff: time.Millisecond, Precision: prec}, tr)
 	if err != nil {
 		t.Fatal(err)
 	}

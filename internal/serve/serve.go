@@ -49,6 +49,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/qos"
 	"repro/internal/shard"
 )
@@ -206,6 +207,14 @@ type ShardHealthReporter interface {
 	ShardHealth() []shard.ShardStatus
 	// Healthy reports whether every shard is serving.
 	Healthy() bool
+}
+
+// PrecisionReporter is an optional Backend extension reporting the
+// precision tier the backend serves at, surfaced in /stats. Both
+// core.Deployment and shard.Router implement it; a backend without it is
+// reported as f64 (the bit-pinned default tier).
+type PrecisionReporter interface {
+	Precision() kernel.Precision
 }
 
 // Server is the serving daemon's state: one backend, one coalescer, one

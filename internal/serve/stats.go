@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/shard"
 )
 
@@ -21,6 +22,10 @@ type Stats struct {
 	Nodes        int    `json:"nodes"`
 	Edges        int    `json:"edges"`
 	GraphVersion uint64 `json:"graph_version"`
+
+	// Precision is the tier the backend serves at ("f64", "f32", "int8";
+	// PrecisionReporter — backends without it report the f64 default).
+	Precision string `json:"precision"`
 
 	// Request accounting. Requests counts every Classify call, including
 	// ones answered entirely from the result cache; Targets and InferCalls
@@ -361,6 +366,10 @@ func (s *Server) Stats() Stats {
 	s.co.graphMu.RUnlock()
 	if hr, ok := s.backend.(ShardHealthReporter); ok {
 		st.Shards = hr.ShardHealth()
+	}
+	st.Precision = kernel.PrecisionF64.String()
+	if pr, ok := s.backend.(PrecisionReporter); ok {
+		st.Precision = pr.Precision().String()
 	}
 	return st
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 )
 
 // The worker wire protocol: three endpoints carrying the binary codec of
@@ -108,6 +109,16 @@ func writeWorkerError(rw http.ResponseWriter, err error) {
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.WriteHeader(http.StatusConflict)
 		_, _ = rw.Write(encodeWireError(errKindStale, stale.Have, stale.Want, err.Error()))
+		return
+	}
+	var prec *precisionError
+	if errors.As(err, &prec) {
+		// Also a conflict, but one replay cannot heal: the payload's kind
+		// tells the router to fail the call permanently instead.
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.WriteHeader(http.StatusConflict)
+		_, _ = rw.Write(encodeWireError(errKindPrecision,
+			uint64(prec.have), uint64(prec.want), err.Error()))
 		return
 	}
 	var bad *badDeltaError
@@ -218,6 +229,12 @@ func (t *HTTPTransport) call(ctx context.Context, shardID int, method, path stri
 		switch {
 		case derr != nil:
 			return nil, &TransportError{Shard: shardID, Err: fmt.Errorf("bad 409 payload: %v", derr)}
+		case we.kind == errKindPrecision:
+			// A tier conflict is permanent: no retry or replay fixes a worker
+			// bootstrapped at a different precision.
+			return nil, &TransportError{Shard: shardID,
+				Err: &precisionError{shard: shardID,
+					have: kernel.Precision(we.have), want: kernel.Precision(we.want)}}
 		case we.kind != errKindStale:
 			return nil, &TransportError{Shard: shardID,
 				Err: fmt.Errorf("unexpected 409 error kind %d: %s", we.kind, we.msg)}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/par"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	// defaults to 5ms. In-process transports never fail transiently, so
 	// both knobs only matter for networked workers.
 	RetryBackoff time.Duration
+	// Precision is the tier every shard serves at (zero value = f64, the
+	// bit-pinned reference). The whole fleet runs one tier: the handshake
+	// rejects a worker bootstrapped at a different tier, and a racing
+	// request against a mismatched worker is a 409 conflict.
+	Precision kernel.Precision
 }
 
 const (
@@ -96,6 +102,7 @@ type Router struct {
 	global *graph.Graph
 	st     *core.Stationary
 	radius int
+	prec   kernel.Precision
 	// bootGlobalN is the global node count at bootstrap. Workers report the
 	// count they bootstrapped from (it never changes on the worker — deltas
 	// are tracked by version), so validation compares against this, not the
@@ -145,6 +152,9 @@ func NewRouter(m *core.Model, g *graph.Graph, cfg Config) (*Router, error) {
 	if g.F() != m.FeatureDim {
 		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
 	}
+	if !cfg.Precision.Valid() {
+		return nil, fmt.Errorf("shard: unknown precision tier %d", int(cfg.Precision))
+	}
 	radius := cfg.Radius
 	if radius <= 0 {
 		radius = m.K
@@ -171,7 +181,7 @@ func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignme
 		if err != nil {
 			return nil, err
 		}
-		workers[p] = newWorker(p, asg.P, radius, g.N(), dep, lst)
+		workers[p] = newWorker(p, asg.P, radius, g.N(), cfg.Precision, dep, lst)
 	}
 	r.transport = NewLocalTransport(workers)
 	for p := range r.health {
@@ -195,6 +205,9 @@ func newRouter(m *core.Model, g *graph.Graph, st *core.Stationary, asg *Assignme
 func NewRouterTransport(m *core.Model, g *graph.Graph, cfg Config, t Transport) (*Router, error) {
 	if g.F() != m.FeatureDim {
 		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	if !cfg.Precision.Valid() {
+		return nil, fmt.Errorf("shard: unknown precision tier %d", int(cfg.Precision))
 	}
 	radius := cfg.Radius
 	if radius <= 0 {
@@ -232,6 +245,7 @@ func newRouterCommon(m *core.Model, g *graph.Graph, st *core.Stationary, asg *As
 		global:      g,
 		st:          st,
 		radius:      radius,
+		prec:        cfg.Precision,
 		bootGlobalN: g.N(),
 		owner:       asg.Owner,
 		ownedCount:  make([]int, asg.P),
@@ -316,6 +330,8 @@ func (r *Router) validateWorker(p int, info HealthInfo) error {
 		return fmt.Errorf("worker halo radius %d, want %d", info.Radius, r.radius)
 	case info.GlobalNodes != r.bootGlobalN:
 		return fmt.Errorf("worker built from %d global nodes, want %d", info.GlobalNodes, r.bootGlobalN)
+	case info.Precision != r.prec:
+		return fmt.Errorf("worker serves precision %s, want %s", info.Precision, r.prec)
 	}
 	return nil
 }
@@ -502,7 +518,7 @@ func (r *Router) InferContext(ctx context.Context, targets []int, opt core.Infer
 		for k := lo; k < hi; k++ {
 			p := calls[k]
 			results[k], errs[k] = r.inferShard(ctx, p,
-				&InferRequest{Version: version, Targets: local[p], Opt: opt})
+				&InferRequest{Version: version, Targets: local[p], Opt: opt, Precision: r.prec})
 		}
 	})
 	for _, err := range errs {
@@ -688,6 +704,9 @@ func (r *Router) Shards() int { return len(r.shards) }
 
 // Radius reports the halo radius the partition was built for.
 func (r *Router) Radius() int { return r.radius }
+
+// Precision reports the tier the fleet serves at (serve.PrecisionReporter).
+func (r *Router) Precision() kernel.Precision { return r.prec }
 
 // ScratchBytes sums the retained pooled-scratch footprint across shards as
 // of each shard's last successful probe (one in-flight batch per shard),

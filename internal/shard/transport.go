@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 )
 
 // Transport is the router↔shard boundary: every call the Router makes
@@ -48,6 +49,10 @@ type InferRequest struct {
 	Targets []int
 	// Opt is the operating point, forwarded verbatim.
 	Opt core.InferenceOptions
+	// Precision is the tier the router serves at; a worker bootstrapped at a
+	// different tier answers with a precision conflict (HTTP 409) rather than
+	// silently mixing kernels across the fleet.
+	Precision kernel.Precision
 }
 
 // HealthInfo is one shard's health-probe report.
@@ -70,6 +75,9 @@ type HealthInfo struct {
 	// ScratchBytes is the worker deployment's retained pooled-scratch
 	// footprint, summed into the router's /stats gauge.
 	ScratchBytes int
+	// Precision is the tier the worker's deployment serves at; the router's
+	// handshake rejects a worker on a different tier than its own.
+	Precision kernel.Precision
 }
 
 // ErrUnavailable marks a shard the router could not reach after retries —
@@ -133,6 +141,22 @@ type badDeltaError struct {
 // Error formats the rejection with its shard.
 func (e *badDeltaError) Error() string {
 	return fmt.Sprintf("shard %d: bad delta: %s", e.shard, e.reason)
+}
+
+// precisionError reports a request whose precision tier does not match the
+// tier the worker was bootstrapped at. Unlike a version gap it is not
+// healable by replay — the worker's lowered operands are built for one tier —
+// so the HTTP handler maps it to 409 (conflict) and the router treats it as
+// permanent. The handshake normally catches the mismatch before any request
+// is routed; this guards requests racing a fleet reconfiguration.
+type precisionError struct {
+	shard      int
+	have, want kernel.Precision
+}
+
+// Error formats the tier conflict with its shard.
+func (e *precisionError) Error() string {
+	return fmt.Sprintf("shard %d: serves precision %s, request wants %s", e.shard, e.have, e.want)
 }
 
 // LocalTransport serves shards from Workers living in the router's own

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 )
 
@@ -27,12 +28,18 @@ func fastRetry(p int) Config {
 // fixture graph and serves each over a loopback HTTP server, returning the
 // transport dialing them. Cleanup closes the servers.
 func startWorkers(t *testing.T, p int) (*HTTPTransport, []*httptest.Server) {
+	return startWorkersAt(t, p, kernel.PrecisionF64)
+}
+
+// startWorkersAt is startWorkers with the workers bootstrapped at an
+// explicit precision tier.
+func startWorkersAt(t *testing.T, p int, prec kernel.Precision) (*HTTPTransport, []*httptest.Server) {
 	t.Helper()
 	ds, m := fixture(t)
 	addrs := make([]string, p)
 	servers := make([]*httptest.Server, p)
 	for i := 0; i < p; i++ {
-		w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p}, i)
+		w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p, Precision: prec}, i)
 		if err != nil {
 			t.Fatal(err)
 		}

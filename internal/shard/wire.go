@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 )
 
@@ -25,7 +26,10 @@ import (
 
 const wireMagic = "NAIW"
 
-const wireVersion = 1
+// wireVersion 2 added the precision tier to msgInfer and msgHealth (and the
+// errKindPrecision conflict); a version-1 peer is rejected at decode, which
+// is the right failure for a router and worker that disagree on the format.
+const wireVersion = 2
 
 // message types
 const (
@@ -39,9 +43,10 @@ const (
 
 // error kinds carried by msgError
 const (
-	errKindStale    = 1
-	errKindBad      = 2
-	errKindInternal = 3
+	errKindStale     = 1
+	errKindBad       = 2
+	errKindInternal  = 3
+	errKindPrecision = 4 // worker serves a different precision tier (409)
 )
 
 // wireError is the decoded form of a msgError payload.
@@ -217,7 +222,8 @@ func encodeInferRequest(req *InferRequest) []byte {
 	if req.Opt.NoSupportRecompute {
 		flags = 1
 	}
-	return appendInt(b, flags)
+	b = appendInt(b, flags)
+	return appendInt(b, int(req.Precision))
 }
 
 func decodeInferRequest(b []byte) (*InferRequest, error) {
@@ -234,6 +240,10 @@ func decodeInferRequest(b []byte) (*InferRequest, error) {
 	req.Opt.BatchSize = d.int()
 	req.Opt.Workers = d.int()
 	req.Opt.NoSupportRecompute = d.int() != 0
+	req.Precision = kernel.Precision(d.int())
+	if !req.Precision.Valid() {
+		d.fail("unknown precision tier %d", int(req.Precision))
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -360,7 +370,8 @@ func encodeHealthInfo(h HealthInfo) []byte {
 	b = appendInt(b, h.Nodes)
 	b = appendInt(b, h.GlobalNodes)
 	b = appendUint(b, h.Version)
-	return appendInt(b, h.ScratchBytes)
+	b = appendInt(b, h.ScratchBytes)
+	return appendInt(b, int(h.Precision))
 }
 
 func decodeHealthInfo(b []byte) (HealthInfo, error) {
@@ -378,6 +389,10 @@ func decodeHealthInfo(b []byte) (HealthInfo, error) {
 	}
 	h.Version = d.uint()
 	h.ScratchBytes = d.int()
+	h.Precision = kernel.Precision(d.int())
+	if !h.Precision.Valid() {
+		d.fail("unknown precision tier %d", int(h.Precision))
+	}
 	if err := d.done(); err != nil {
 		return HealthInfo{}, err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 )
 
@@ -19,6 +20,7 @@ func TestWireRoundTrip(t *testing.T) {
 		Targets: []int{0, 5, 1 << 30},
 		Opt: core.InferenceOptions{Mode: core.ModeDistance, Ts: 1.0 / 3.0,
 			TMin: 1, TMax: 4, BatchSize: 128, Workers: 3, NoSupportRecompute: true},
+		Precision: kernel.PrecisionInt8,
 	}
 	gotReq, err := decodeInferRequest(encodeInferRequest(req))
 	if err != nil {
@@ -86,7 +88,7 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 
 	h := HealthInfo{ShardID: 1, Shards: 4, Radius: 3, Nodes: 100, GlobalNodes: 300,
-		Version: 17, ScratchBytes: 1 << 20}
+		Version: 17, ScratchBytes: 1 << 20, Precision: kernel.PrecisionF32}
 	gotH, err := decodeHealthInfo(encodeHealthInfo(h))
 	if err != nil {
 		t.Fatal(err)
@@ -130,6 +132,13 @@ func TestWireRejectsBadPayloads(t *testing.T) {
 	}
 	if _, err := decodeInferRequest(append(append([]byte(nil), good...), 0)); err == nil {
 		t.Fatal("trailing byte accepted")
+	}
+	// A request naming a precision tier this build does not know must be
+	// rejected at decode, before it reaches a worker.
+	badTier := encodeInferRequest(&InferRequest{Version: 1, Targets: []int{1},
+		Precision: kernel.Precision(9)})
+	if _, err := decodeInferRequest(badTier); err == nil {
+		t.Fatal("unknown precision tier accepted")
 	}
 
 	// A hostile count: header + uvarint(2^40) with no elements behind it.

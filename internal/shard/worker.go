@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/sparse"
 )
@@ -35,6 +36,7 @@ type Worker struct {
 	radius  int
 	// globalN is the global node count at bootstrap (handshake check).
 	globalN int
+	prec    kernel.Precision
 	dep     *core.Deployment
 	st      *core.Stationary
 	version uint64
@@ -48,6 +50,9 @@ type Worker struct {
 func NewWorker(m *core.Model, g *graph.Graph, cfg Config, shardID int) (*Worker, error) {
 	if g.F() != m.FeatureDim {
 		return nil, fmt.Errorf("shard: graph feature dim %d != model %d", g.F(), m.FeatureDim)
+	}
+	if !cfg.Precision.Valid() {
+		return nil, fmt.Errorf("shard: unknown precision tier %d", int(cfg.Precision))
 	}
 	radius := cfg.Radius
 	if radius <= 0 {
@@ -66,16 +71,17 @@ func NewWorker(m *core.Model, g *graph.Graph, cfg Config, shardID int) (*Worker,
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{shardID: shardID, shards: asg.P, radius: radius,
-		globalN: g.N(), dep: dep, st: lst, version: 1}, nil
+	return newWorker(shardID, asg.P, radius, g.N(), cfg.Precision, dep, lst), nil
 }
 
 // newWorker wraps already-built shard state (the local router's path, which
 // computes one partition and one global stationary, then cuts each of the P
-// workers its own view).
-func newWorker(shardID, shards, radius, globalN int, dep *core.Deployment, st *core.Stationary) *Worker {
+// workers its own view). Lowered precision mirrors are built here so both
+// bootstrap paths serve the configured tier.
+func newWorker(shardID, shards, radius, globalN int, prec kernel.Precision, dep *core.Deployment, st *core.Stationary) *Worker {
+	dep.SetPrecision(prec)
 	return &Worker{shardID: shardID, shards: shards, radius: radius,
-		globalN: globalN, dep: dep, st: st, version: 1}
+		globalN: globalN, prec: prec, dep: dep, st: st, version: 1}
 }
 
 // haloUniverse lists the nodes within radius hops of the owned set, in
@@ -122,6 +128,11 @@ func (w *Worker) Infer(req *InferRequest) (*core.Result, error) {
 	defer w.mu.RUnlock()
 	if req.Version != 0 && w.version != req.Version {
 		return nil, &StaleError{Shard: w.shardID, Have: w.version, Want: req.Version}
+	}
+	if req.Precision != w.prec {
+		// The handshake rejects tier mismatches up front; this catches a
+		// request racing a reconfiguration (it cannot be healed by replay).
+		return nil, &precisionError{shard: w.shardID, have: w.prec, want: req.Precision}
 	}
 	return w.dep.Infer(req.Targets, req.Opt)
 }
@@ -191,6 +202,10 @@ func (w *Worker) ApplyDelta(sd *ShardDelta) error {
 		}
 	}
 	w.dep.Adj = sparse.NormalizedAdjacencyPatch(lAdj, w.dep.Model.Gamma, w.dep.Adj, w.st.LoopedDeg, valDirty)
+	// Relaxed-tier mirrors are lowered views of the patched operands; the
+	// shard path bypasses Deployment.ApplyDelta, so re-derive them here
+	// (no-op at the f64 tier).
+	w.dep.RefreshPrecision()
 	return nil
 }
 
@@ -245,6 +260,7 @@ func (w *Worker) Health() HealthInfo {
 		GlobalNodes:  w.globalN,
 		Version:      w.version,
 		ScratchBytes: w.dep.ScratchBytes(),
+		Precision:    w.prec,
 	}
 }
 

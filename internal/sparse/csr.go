@@ -234,19 +234,7 @@ func (a *CSR) MulDenseRows(rows []int, x, out *mat.Matrix) int {
 	if out.Rows != a.Rows || out.Cols != x.Cols {
 		panic("sparse: MulDenseRows out shape mismatch")
 	}
-	nnz := a.NNZRows(rows)
-	par.ForWeighted(len(rows), nnz*x.Cols, nnz,
-		func(k int) int { return a.RowNNZ(rows[k]) },
-		func(lo, hi int) {
-			for _, r := range rows[lo:hi] {
-				dst := out.Row(r)
-				for j := range dst {
-					dst[j] = 0
-				}
-				a.mulRowInto(dst, r, x)
-			}
-		})
-	return nnz * x.Cols
+	return a.mulDenseRowsBlocked(rows, x, out, par.ColBlock(x.Cols, 8), false)
 }
 
 // MulDenseRowsCompact computes out[k] = (a·x)[rows[k]] for k = 0..len(rows)
@@ -270,19 +258,47 @@ func (a *CSR) MulDenseRowsCompact(rows []int, x, out *mat.Matrix) int {
 	if out.Rows != len(rows) || out.Cols != x.Cols {
 		panic("sparse: MulDenseRowsCompact out shape mismatch")
 	}
+	return a.mulDenseRowsBlocked(rows, x, out, par.ColBlock(x.Cols, 8), true)
+}
+
+// mulDenseRowsBlocked is the cache-blocked row-subset SpMM kernel behind
+// MulDenseRows (compact=false) and MulDenseRowsCompact (compact=true). The
+// dense columns are walked in blocks of bw so each pass over a chunk's CSR
+// rows touches only a bw-wide panel of x, keeping the gathered source rows
+// L1/L2-resident even when the feature width is large. Blocking is
+// bit-identity-preserving by construction: for every output element
+// out[r][j] the accumulation order over row r's neighbors is exactly the
+// row-serial kernel's (the block split varies j, never the neighbor order),
+// which TestKernelPropTiledF64BitIdentical pins across hostile block widths.
+func (a *CSR) mulDenseRowsBlocked(rows []int, x, out *mat.Matrix, bw int, compact bool) int {
+	f := x.Cols
 	nnz := a.NNZRows(rows)
-	par.ForWeighted(len(rows), nnz*x.Cols, nnz,
+	if bw <= 0 || bw > f {
+		bw = f
+	}
+	par.ForWeighted(len(rows), nnz*f, nnz,
 		func(k int) int { return a.RowNNZ(rows[k]) },
 		func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				dst := out.Row(k)
-				for j := range dst {
-					dst[j] = 0
+			for jb := 0; jb < f; jb += bw {
+				je := jb + bw
+				if je > f {
+					je = f
 				}
-				a.mulRowInto(dst, rows[k], x)
+				for k := lo; k < hi; k++ {
+					r := rows[k]
+					o := r
+					if compact {
+						o = k
+					}
+					dst := out.Row(o)[jb:je]
+					for j := range dst {
+						dst[j] = 0
+					}
+					a.mulRowSpanInto(dst, r, x, jb)
+				}
 			}
 		})
-	return nnz * x.Cols
+	return nnz * f
 }
 
 // ExtractRowsInto builds the compacted sub-matrix of a over a local node
@@ -391,6 +407,22 @@ func (a *CSR) mulRowInto(dst []float64, i int, x *mat.Matrix) {
 	for k, c := range cols {
 		v := vals[k]
 		src := x.Row(c)
+		for j, sv := range src {
+			dst[j] += v * sv
+		}
+	}
+}
+
+// mulRowSpanInto accumulates columns [jb, jb+len(dst)) of (a·x)[i] into dst
+// — mulRowInto restricted to one column block. Per element it runs the same
+// neighbor loop in the same order, so a blocked pass is bit-identical to an
+// unblocked one.
+func (a *CSR) mulRowSpanInto(dst []float64, i int, x *mat.Matrix, jb int) {
+	cols := a.RowIndices(i)
+	vals := a.RowValues(i)
+	for k, c := range cols {
+		v := vals[k]
+		src := x.Row(c)[jb : jb+len(dst)]
 		for j, sv := range src {
 			dst[j] += v * sv
 		}

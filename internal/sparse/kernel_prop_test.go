@@ -1,0 +1,390 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// Property/metamorphic suite for the propagation kernels. The invariants:
+//
+//   - the cache-blocked f64 kernel is bit-identical to a row-serial
+//     reference for every block width, including hostile ones (bw=1,
+//     bw>f) — blocking may only change which cache lines are hot, never
+//     a single output bit;
+//   - the f32 kernel is within the analytic forward-error bound of the
+//     f64 reference, and bit-identical to itself across block widths;
+//   - the int8 kernel is within the analytic quantization bound of the
+//     f64 reference, and bit-identical to itself across block widths
+//     (int32 accumulation is exact, so blocking cannot move a bit);
+//   - compact and scatter forms agree row-for-row, and a sub-CSR cut with
+//     ExtractRowsInto plus GatherRowVals reproduces the global rows
+//     bitwise within each tier (the remapped compact form the engine's
+//     deep hops run on).
+//
+// CI runs this file under -race (kernel chunks must never overlap).
+
+var propBlockWidths = []int{1, 2, 3, 5, 16, 1 << 20}
+
+type kernelCase struct {
+	name string
+	a    *CSR
+	x    *mat.Matrix
+	rows []int
+}
+
+// propCases builds the seeded CSR zoo: generic sparsity, empty rows, a
+// single-column matrix, single-feature dense operand, and dense stripes
+// (rows with every column set — the hub-row worst case).
+func propCases(rng *rand.Rand) []kernelCase {
+	var cases []kernelCase
+	add := func(name string, rows, cols, f int, density float64, mutate func(adj [][]int)) {
+		adj := make([][]int, rows)
+		for i := range adj {
+			for c := 0; c < cols; c++ {
+				if rng.Float64() < density {
+					adj[i] = append(adj[i], c)
+				}
+			}
+		}
+		if mutate != nil {
+			mutate(adj)
+		}
+		vals := make([][]float64, rows)
+		for i := range adj {
+			vals[i] = make([]float64, len(adj[i]))
+			for k := range vals[i] {
+				vals[i][k] = rng.NormFloat64()
+			}
+		}
+		a := fromAdjLists(rows, cols, adj, vals)
+		x := mat.Randn(cols, f, 1.3, rng)
+		sel := make([]int, 0, rows)
+		for r := 0; r < rows; r++ {
+			if rng.Intn(3) != 0 {
+				sel = append(sel, r)
+			}
+		}
+		if len(sel) == 0 {
+			sel = []int{0}
+		}
+		cases = append(cases, kernelCase{name: name, a: a, x: x, rows: sel})
+	}
+	add("generic", 37, 41, 19, 0.15, nil)
+	add("empty-rows", 30, 23, 7, 0.2, func(adj [][]int) {
+		for i := 0; i < len(adj); i += 2 {
+			adj[i] = nil
+		}
+	})
+	add("single-column", 25, 1, 9, 0.6, nil)
+	add("single-feature", 21, 18, 1, 0.25, nil)
+	add("dense-stripes", 24, 31, 13, 0.08, func(adj [][]int) {
+		for _, i := range []int{0, 7, 23} {
+			adj[i] = adj[i][:0]
+			for c := 0; c < 31; c++ {
+				adj[i] = append(adj[i], c)
+			}
+		}
+	})
+	return cases
+}
+
+// refMulRows is the row-serial f64 reference: the exact loop nest (neighbors
+// outer, features inner) the unblocked kernel has always run, written
+// independently of the production code.
+func refMulRows(a *CSR, rows []int, x *mat.Matrix) *mat.Matrix {
+	out := mat.New(len(rows), x.Cols)
+	for k, r := range rows {
+		dst := out.Row(k)
+		cols := a.RowIndices(r)
+		vals := a.RowValues(r)
+		for p, c := range cols {
+			v := vals[p]
+			for j := 0; j < x.Cols; j++ {
+				dst[j] += v * x.At(c, j)
+			}
+		}
+	}
+	return out
+}
+
+func TestKernelPropTiledF64BitIdentical(t *testing.T) {
+	for _, tc := range propCases(rand.New(rand.NewSource(11))) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := refMulRows(tc.a, tc.rows, tc.x)
+			widths := append([]int{0}, propBlockWidths...) // 0 = production default path
+			for _, bw := range widths {
+				compact := mat.New(len(tc.rows), tc.x.Cols)
+				scatter := mat.New(tc.a.Rows, tc.x.Cols)
+				if bw == 0 {
+					tc.a.MulDenseRowsCompact(tc.rows, tc.x, compact)
+					tc.a.MulDenseRows(tc.rows, tc.x, scatter)
+				} else {
+					tc.a.mulDenseRowsBlocked(tc.rows, tc.x, compact, bw, true)
+					tc.a.mulDenseRowsBlocked(tc.rows, tc.x, scatter, bw, false)
+				}
+				for k, r := range tc.rows {
+					for j := 0; j < tc.x.Cols; j++ {
+						want := ref.At(k, j)
+						if got := compact.At(k, j); math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("bw=%d compact[%d,%d] = %v, row-serial %v", bw, k, j, got, want)
+						}
+						if got := scatter.At(r, j); math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("bw=%d scatter[%d,%d] = %v, row-serial %v", bw, r, j, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// lower32 builds the f32 operands of a case.
+func lower32(a *CSR, x *mat.Matrix) (av, x32 []float32) {
+	av = make([]float32, a.NNZ())
+	kernel.ToF32(av, a.Val)
+	x32 = make([]float32, len(x.Data))
+	kernel.ToF32(x32, x.Data)
+	return av, x32
+}
+
+// f32Bound is the analytic per-element forward-error bound for the f32
+// kernel: inputs are lowered with one rounding each (relative u = 2⁻²⁴),
+// every product adds one rounding, and summing n terms adds at most n
+// roundings, so |err| ≤ (n+4)·2⁻²⁴·Σ|aₖxₖ| to first order; the 1.01 factor
+// absorbs the higher-order γₙ terms at these tiny n.
+func f32Bound(a *CSR, r int, x *mat.Matrix, j int) float64 {
+	cols := a.RowIndices(r)
+	vals := a.RowValues(r)
+	s := 0.0
+	for p, c := range cols {
+		s += math.Abs(vals[p] * x.At(c, j))
+	}
+	n := float64(len(cols))
+	return (n+4)*s*1.01/(1<<24) + 1e-30
+}
+
+func TestKernelPropF32WithinTolerance(t *testing.T) {
+	for _, tc := range propCases(rand.New(rand.NewSource(12))) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := refMulRows(tc.a, tc.rows, tc.x)
+			av, x32 := lower32(tc.a, tc.x)
+			f := tc.x.Cols
+			base := make([]float32, len(tc.rows)*f)
+			tc.a.MulDenseRowsCompact32(tc.rows, av, x32, f, base)
+			for k := range tc.rows {
+				for j := 0; j < f; j++ {
+					got := float64(base[k*f+j])
+					want := ref.At(k, j)
+					if err := math.Abs(got - want); err > f32Bound(tc.a, tc.rows[k], tc.x, j) {
+						t.Fatalf("f32[%d,%d] = %v, f64 %v, err %v beyond bound", k, j, got, want, err)
+					}
+				}
+			}
+			for _, bw := range propBlockWidths {
+				blk := make([]float32, len(tc.rows)*f)
+				tc.a.mulDenseRows32Blocked(tc.rows, av, x32, f, blk, bw, true)
+				for i := range blk {
+					if math.Float32bits(blk[i]) != math.Float32bits(base[i]) {
+						t.Fatalf("bw=%d f32 bit drift at %d: %v vs %v", bw, i, blk[i], base[i])
+					}
+				}
+				scat := make([]float32, tc.a.Rows*f)
+				tc.a.mulDenseRows32Blocked(tc.rows, av, x32, f, scat, bw, false)
+				for k, r := range tc.rows {
+					for j := 0; j < f; j++ {
+						if math.Float32bits(scat[r*f+j]) != math.Float32bits(base[k*f+j]) {
+							t.Fatalf("bw=%d f32 scatter/compact drift at row %d col %d", bw, r, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// int8Bound is the analytic per-element bound for the int8 kernel: with
+// adjacency scale sa and activation scale sx, each operand is within half a
+// step of its quantization (|a−sa·qa| ≤ sa/2 for |a| ≤ 127·sa), so each
+// product errs by at most |a|·sx/2 + |x|·sa/2 + sa·sx/4; accumulation is
+// exact in int32 and the final f32 store adds one rounding of the result.
+func int8Bound(a *CSR, r int, x *mat.Matrix, j int, sa, sx, ref float64) float64 {
+	cols := a.RowIndices(r)
+	vals := a.RowValues(r)
+	b := 0.0
+	for p, c := range cols {
+		b += math.Abs(vals[p])*sx/2 + math.Abs(x.At(c, j))*sa/2 + sa*sx/4
+	}
+	return b + math.Abs(ref)/(1<<23) + 1e-30
+}
+
+func TestKernelPropInt8WithinTolerance(t *testing.T) {
+	for _, tc := range propCases(rand.New(rand.NewSource(13))) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := refMulRows(tc.a, tc.rows, tc.x)
+			aq, sa := kernel.Quantize(tc.a.Val)
+			xq, sx := kernel.Quantize(tc.x.Data)
+			deq := sa * sx
+			f := tc.x.Cols
+			base := make([]float32, len(tc.rows)*f)
+			tc.a.MulDenseRowsCompact8(tc.rows, aq, xq, f, deq, base)
+			for k := range tc.rows {
+				for j := 0; j < f; j++ {
+					got := float64(base[k*f+j])
+					want := ref.At(k, j)
+					bound := int8Bound(tc.a, tc.rows[k], tc.x, j, sa, sx, want)
+					if err := math.Abs(got - want); err > bound {
+						t.Fatalf("int8[%d,%d] = %v, f64 %v, err %v beyond bound %v", k, j, got, want, err, bound)
+					}
+				}
+			}
+			for _, bw := range propBlockWidths {
+				blk := make([]float32, len(tc.rows)*f)
+				tc.a.mulDenseRows8Blocked(tc.rows, aq, xq, f, deq, blk, bw, true)
+				for i := range blk {
+					if math.Float32bits(blk[i]) != math.Float32bits(base[i]) {
+						t.Fatalf("bw=%d int8 bit drift at %d", bw, i)
+					}
+				}
+				scat := make([]float32, tc.a.Rows*f)
+				tc.a.mulDenseRows8Blocked(tc.rows, aq, xq, f, deq, scat, bw, false)
+				for k, r := range tc.rows {
+					for j := 0; j < f; j++ {
+						if math.Float32bits(scat[r*f+j]) != math.Float32bits(base[k*f+j]) {
+							t.Fatalf("bw=%d int8 scatter/compact drift at row %d col %d", bw, r, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelPropRemappedCompact pins the remapped compact form the engine's
+// deep hops run on: a neighbor-closed universe is cut with ExtractRowsInto,
+// the tier value arrays are gathered with GatherRowVals, and the sub-CSR
+// products must reproduce the corresponding global rows bitwise within each
+// tier (f64 exactly; f32 and int8 bit-identical to their own global-kernel
+// rows — the gathered values carry the global scales).
+func TestKernelPropRemappedCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n, f := 40, 11
+	var src, dst []int
+	for i := 0; i < 160; i++ {
+		src = append(src, rng.Intn(n))
+		dst = append(dst, rng.Intn(n))
+	}
+	adj := FromEdges(n, src, dst, true)
+	// Random values on the edges (FromEdges stores 1s).
+	for i := range adj.Val {
+		adj.Val[i] = rng.NormFloat64()
+	}
+	x := mat.Randn(n, f, 1, rng)
+
+	// rows: a random subset; universe: rows ∪ their neighbors (closed).
+	inRows := make(map[int]bool)
+	for len(inRows) < 12 {
+		inRows[rng.Intn(n)] = true
+	}
+	inUniv := make(map[int]bool)
+	var rows []int
+	for r := range inRows {
+		rows = append(rows, r)
+		inUniv[r] = true
+		for _, c := range adj.RowIndices(r) {
+			inUniv[c] = true
+		}
+	}
+	sort.Ints(rows)
+	var universe []int
+	for v := range inUniv {
+		universe = append(universe, v)
+	}
+	sort.Ints(universe)
+	m := len(universe)
+	toLocal := make([]int32, n)
+	for i := range toLocal {
+		toLocal[i] = -1
+	}
+	for lv, v := range universe {
+		toLocal[v] = int32(lv)
+	}
+
+	var sub CSR
+	adj.ExtractRowsInto(rows, toLocal, m, &sub)
+	localRows := make([]int, len(rows))
+	for i, r := range rows {
+		localRows[i] = int(toLocal[r])
+	}
+	xLocal := x.GatherRows(universe)
+
+	// f64: sub-CSR scatter over local rows == global compact, bitwise.
+	wantC := mat.New(len(rows), f)
+	adj.MulDenseRowsCompact(rows, x, wantC)
+	gotS := mat.New(m, f)
+	sub.MulDenseRows(localRows, xLocal, gotS)
+	for k, lr := range localRows {
+		for j := 0; j < f; j++ {
+			if math.Float64bits(gotS.At(lr, j)) != math.Float64bits(wantC.At(k, j)) {
+				t.Fatalf("f64 sub-CSR row %d drifts from global at col %d", lr, j)
+			}
+		}
+	}
+
+	// f32 tier through the gathered lowering.
+	av, x32 := lower32(adj, x)
+	want32 := make([]float32, len(rows)*f)
+	adj.MulDenseRowsCompact32(rows, av, x32, f, want32)
+	subAv := adj.GatherRowVals32(rows, av, nil)
+	if len(subAv) != sub.NNZ() {
+		t.Fatalf("gathered %d f32 values for sub nnz %d", len(subAv), sub.NNZ())
+	}
+	// Gathering every sub row from the gathered lowering is the identity.
+	allSub := make([]int, m)
+	for i := range allSub {
+		allSub[i] = i
+	}
+	for i, v := range sub.GatherRowVals32(allSub, subAv, nil) {
+		if math.Float32bits(v) != math.Float32bits(subAv[i]) {
+			t.Fatalf("gather-of-gather drift at %d", i)
+		}
+	}
+	xl32 := make([]float32, len(xLocal.Data))
+	kernel.ToF32(xl32, xLocal.Data)
+	got32 := make([]float32, m*f)
+	sub.MulDenseRows32(localRows, subAv, xl32, f, got32)
+	for k, lr := range localRows {
+		for j := 0; j < f; j++ {
+			if math.Float32bits(got32[lr*f+j]) != math.Float32bits(want32[k*f+j]) {
+				t.Fatalf("f32 sub-CSR row %d drifts from global at col %d", lr, j)
+			}
+		}
+	}
+
+	// int8 tier: gathered global quantization, global scales.
+	aq, sa := kernel.Quantize(adj.Val)
+	xq, sx := kernel.Quantize(x.Data)
+	deq := sa * sx
+	want8 := make([]float32, len(rows)*f)
+	adj.MulDenseRowsCompact8(rows, aq, xq, f, deq, want8)
+	subAq := adj.GatherRowVals8(rows, aq, nil)
+	// Local activations must be the same global quantization gathered by
+	// universe row — re-quantizing locally would change the scale.
+	xlq := make([]int8, m*f)
+	for lv, v := range universe {
+		copy(xlq[lv*f:(lv+1)*f], xq[v*f:(v+1)*f])
+	}
+	got8 := make([]float32, m*f)
+	sub.MulDenseRows8(localRows, subAq, xlq, f, deq, got8)
+	for k, lr := range localRows {
+		for j := 0; j < f; j++ {
+			if math.Float32bits(got8[lr*f+j]) != math.Float32bits(want8[k*f+j]) {
+				t.Fatalf("int8 sub-CSR row %d drifts from global at col %d", lr, j)
+			}
+		}
+	}
+}
