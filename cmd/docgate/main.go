@@ -35,6 +35,7 @@ var exportedDocPackages = map[string]bool{
 	"internal/cache":  true,
 	"internal/kernel": true,
 	"internal/mat":    true,
+	"internal/obs":    true,
 	"internal/par":    true,
 }
 

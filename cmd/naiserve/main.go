@@ -1,8 +1,13 @@
 // Command naiserve runs the NAI serving daemon: it trains (or loads) a
 // model, deploys it against the serving graph, and exposes the
 // internal/serve HTTP JSON API — coalesced inference over /infer, online
-// graph growth over /nodes and /edges, and observability over /stats and
-// /healthz. See ARCHITECTURE.md for the request path.
+// graph growth over /nodes and /edges, and observability over /stats,
+// /healthz, Prometheus text-format metrics at /metrics and recent request
+// traces at /debug/traces (both also served by -shard-worker processes;
+// see ARCHITECTURE.md, "Observability"). -log-format {text,json} selects
+// the structured-log encoding, -trace-slow the slow-request log threshold,
+// and -debug-addr serves net/http/pprof on a separate listener. See
+// ARCHITECTURE.md for the request path.
 //
 // With -shards P (P > 1) the graph is partitioned into P edge-cut shards
 // with a TMax-hop halo each, served by per-shard deployments behind a
@@ -67,14 +72,16 @@
 //	POST /infer   {"nodes":[3,17]}                 → {"preds":[...],"depths":[...]}
 //	POST /nodes   {"features":[[...]],"labels":[0]} → {"first_id":N,"count":1,...}
 //	POST /edges   {"edges":[[0,42]]}                → {"rows_dirtied":2}
-//	GET  /stats, GET /healthz
+//	GET  /stats, GET /healthz, GET /metrics, GET /debug/traces
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served at -debug-addr
 	"os"
 	"os/signal"
 	"sort"
@@ -88,6 +95,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/scalable"
 	"repro/internal/serve"
@@ -121,9 +129,19 @@ func main() {
 	shedMode := flag.Bool("shed-mode", false, "degraded mode: when overloaded, serve cache hits and fixed-depth work, shed adaptive cache misses with 429")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
+	traceRing := flag.Int("trace-ring", 64, "recent completed traces kept for GET /debug/traces")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "log any request slower than this as a slow-request record (0 disables)")
 	quick := flag.Bool("quick", true, "shrink dataset and training")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fail(err)
+	}
+	slog.SetDefault(logger)
 
 	// Quotas and the shard layout are parsed before any training happens: a
 	// typo in either should fail the launch, not a request hours later.
@@ -161,7 +179,7 @@ func main() {
 		if m, err = core.LoadModelFile(*load); err != nil {
 			fail(err)
 		}
-		fmt.Printf("loaded NAI model (K=%d) from %s\n", m.K, *load)
+		logger.Info("loaded model", "k", m.K, "path", *load)
 	}
 	if *graphFile != "" {
 		if m == nil {
@@ -181,7 +199,7 @@ func main() {
 		g = ds.Graph
 		if m == nil {
 			opt := cfg.TrainOptions(*model)
-			fmt.Printf("training NAI (%s, K=%d) on %s ...\n", *model, opt.K, dcfg.Name)
+			logger.Info("training model", "model", *model, "k", opt.K, "dataset", dcfg.Name)
 			if m, err = core.Train(g, ds.Split, opt); err != nil {
 				fail(err)
 			}
@@ -204,11 +222,18 @@ func main() {
 			fail(werr)
 		}
 		h := w.Health()
-		fmt.Printf("shard worker %d/%d on %s: %d local nodes (of %d), halo radius %d, precision %s\n",
-			*shardWorker, shardCount, *addr, h.Nodes, h.GlobalNodes, h.Radius, h.Precision)
-		runServer(&http.Server{
+		logger.Info("shard worker listening",
+			"shard", *shardWorker, "shards", shardCount, "addr", *addr,
+			"nodes", h.Nodes, "global_nodes", h.GlobalNodes,
+			"radius", h.Radius, "precision", h.Precision.String())
+		// The worker owns its own observability surface — /metrics and
+		// /debug/traces beside the shard protocol endpoints — with traces
+		// started under router-supplied ids so the halves stitch.
+		wobs := obs.New(obs.Options{RingSize: *traceRing, SlowThreshold: *traceSlow, Logger: logger})
+		startDebugServer(logger, *debugAddr)
+		runServer(logger, &http.Server{
 			Addr:         *addr,
-			Handler:      shard.WorkerHandler(w),
+			Handler:      shard.WorkerHandlerObs(w, wobs),
 			ReadTimeout:  *readTimeout,
 			WriteTimeout: *writeTimeout,
 		})
@@ -244,7 +269,7 @@ func main() {
 		iopt.Mode = core.ModeDistance
 		if ds != nil {
 			iopt.Ts = tuneThreshold(dep, ds, *tsQuantile)
-			fmt.Printf("tuned T_s = %.4f (validation quantile %.2f)\n", iopt.Ts, *tsQuantile)
+			logger.Info("tuned distance threshold", "ts", iopt.Ts, "quantile", *tsQuantile)
 		} else {
 			fail(fmt.Errorf("distance mode needs a validation split to tune T_s; serve a dataset or use -mode fixed/gate"))
 		}
@@ -279,8 +304,10 @@ func main() {
 		if *shardHealthInterval > 0 {
 			rt.StartHealthProbe(*shardHealthInterval)
 		}
-		fmt.Printf("distributed: %d shard workers (%s), halo radius %d, precision %s, retries=%d, health every %v\n",
-			rt.Shards(), *shardsFlag, rt.Radius(), rt.Precision(), *shardRetries, *shardHealthInterval)
+		logger.Info("distributed sharding",
+			"shards", rt.Shards(), "workers", *shardsFlag, "radius", rt.Radius(),
+			"precision", rt.Precision().String(), "retries", *shardRetries,
+			"health_interval", *shardHealthInterval)
 		backend = rt
 	} else if shardCount > 1 {
 		rt, rerr := shard.NewRouter(m, g, shard.Config{Shards: shardCount, Radius: iopt.TMax, Precision: prec})
@@ -292,8 +319,9 @@ func main() {
 		for _, sz := range sizes {
 			halo += sz.Halo
 		}
-		fmt.Printf("sharded: %d shards, halo radius %d, %d ghost rows (%.1f%% replication)\n",
-			rt.Shards(), rt.Radius(), halo, 100*float64(halo)/float64(g.N()))
+		logger.Info("in-process sharding",
+			"shards", rt.Shards(), "radius", rt.Radius(), "ghost_rows", halo,
+			"replication_pct", 100*float64(halo)/float64(g.N()))
 		backend = rt
 	}
 
@@ -301,10 +329,12 @@ func main() {
 		Opt: iopt, MaxBatch: *maxBatch, MaxWait: *maxWait, MaxBody: *maxBody,
 		CacheSize:  *cacheSize,
 		MaxPending: *maxPending, DefaultDeadline: *defaultDeadline,
-		MaxDeadline: *maxDeadline, Quotas: quotas, Shed: *shedMode})
+		MaxDeadline: *maxDeadline, Quotas: quotas, Shed: *shedMode,
+		TraceRing: *traceRing, SlowTrace: *traceSlow, Logger: logger})
 	defer srv.Close()
-	fmt.Printf("overload control: max-pending=%d, default-deadline=%v, max-deadline=%v, quotas=%s, shed=%v\n",
-		*maxPending, *defaultDeadline, *maxDeadline, orNone(*tenantQuotas), *shedMode)
+	logger.Info("overload control",
+		"max_pending", *maxPending, "default_deadline", *defaultDeadline,
+		"max_deadline", *maxDeadline, "quotas", orNone(*tenantQuotas), "shed", *shedMode)
 	// Report the cache configuration alongside the shard/halo report above:
 	// both describe how much serving state this daemon retains per answer.
 	if *cacheSize > 0 {
@@ -312,13 +342,16 @@ func main() {
 		if iopt.Mode == core.ModeFixed {
 			policy = fmt.Sprintf("fixed mode: deltas evict the radius-%d dirty ball", iopt.TMax)
 		}
-		fmt.Printf("result cache: %d entries (%s)\n", *cacheSize, policy)
+		logger.Info("result cache", "entries", *cacheSize, "policy", policy)
 	} else {
-		fmt.Println("result cache: disabled")
+		logger.Info("result cache disabled")
 	}
-	fmt.Printf("naiserve: %d nodes, %d edges on %s (mode=%s, shards=%s, precision=%s, max-batch=%d, max-wait=%v)\n",
-		g.N(), g.M(), *addr, *mode, *shardsFlag, prec, *maxBatch, *maxWait)
-	runServer(&http.Server{
+	logger.Info("serving",
+		"nodes", g.N(), "edges", g.M(), "addr", *addr, "mode", *mode,
+		"shards", *shardsFlag, "precision", prec.String(),
+		"max_batch", *maxBatch, "max_wait", *maxWait)
+	startDebugServer(logger, *debugAddr)
+	runServer(logger, &http.Server{
 		Addr:         *addr,
 		Handler:      srv.Handler(),
 		ReadTimeout:  *readTimeout,
@@ -326,9 +359,37 @@ func main() {
 	})
 }
 
+// newLogger builds the process logger from -log-format. Logs go to stderr
+// in logfmt-style text or one-JSON-object-per-line.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q: want text or json", format)
+	}
+}
+
+// startDebugServer serves net/http/pprof (registered on DefaultServeMux by
+// the pprof import) on its own listener, kept off the public mux so
+// profiling endpoints are only reachable where -debug-addr points.
+func startDebugServer(logger *slog.Logger, addr string) {
+	if addr == "" {
+		return
+	}
+	logger.Info("debug server listening", "addr", addr, "endpoints", "/debug/pprof/")
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			logger.Error("debug server failed", "err", err)
+		}
+	}()
+}
+
 // runServer serves until the listener fails or SIGINT/SIGTERM asks for a
 // graceful shutdown; both the daemon and worker modes end here.
-func runServer(hs *http.Server) {
+func runServer(logger *slog.Logger, hs *http.Server) {
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
@@ -337,7 +398,7 @@ func runServer(hs *http.Server) {
 	case err := <-done:
 		fail(err)
 	case <-sig:
-		fmt.Println("\nnaiserve: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -182,6 +184,27 @@ func main() {
 	}
 	fmt.Printf("overload: %d rejected, %d/%d pending targets, degraded=%v\n",
 		stats.Rejected, stats.Pending, stats.MaxPending, stats.Degraded)
+
+	// 6. The Prometheus surface: the same daemon serves text-format metrics
+	// at /metrics — request counters by outcome, stage-latency histograms,
+	// graph and cache gauges — ready for any scraper. A few sample lines:
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	sc := bufio.NewScanner(mresp.Body)
+	printed := 0
+	for sc.Scan() && printed < 6 {
+		line := sc.Text()
+		if strings.HasPrefix(line, "nai_requests_total") ||
+			strings.HasPrefix(line, "nai_graph_") ||
+			strings.HasPrefix(line, "nai_cache_hit") {
+			fmt.Println("  " + line)
+			printed++
+		}
+	}
+	fmt.Println("(full scrape at GET /metrics; recent request traces at GET /debug/traces)")
 }
 
 // postTenant posts body with X-Tenant and X-Deadline-Ms headers set and

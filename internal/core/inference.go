@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -393,9 +395,21 @@ func (d *Deployment) ScratchBytes() int {
 // It is safe for concurrent callers on one Deployment; additionally,
 // opt.Workers > 1 fans the batches of this call out across goroutines.
 func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error) {
+	return d.InferContext(context.Background(), targets, opt)
+}
+
+// InferContext is Infer with a context. The engine does not observe
+// cancellation (a batch in flight runs to completion); the context's
+// only role is carrying an obs.Trace, into which the batch stages —
+// supporting-set BFS, sub-CSR extraction, per-hop propagation, exit
+// decisions and classification — record spans. With Workers > 1 or
+// multiple batches, spans from concurrent batches interleave in the one
+// trace.
+func (d *Deployment) InferContext(ctx context.Context, targets []int, opt InferenceOptions) (*Result, error) {
 	if err := opt.Validate(d.Model); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
 	agg := &Result{NodesPerDepth: make([]int, d.Model.K+1)}
 	if len(targets) == 0 {
 		return agg, nil
@@ -407,7 +421,7 @@ func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error)
 	batches := graph.Batches(targets, batchSize)
 	runBatch := func(i int) *Result {
 		sc := d.getScratch(len(batches[i]))
-		res := d.inferBatch(batches[i], opt, sc)
+		res := d.inferBatch(batches[i], opt, sc, tr)
 		d.scratch.Put(sc)
 		return res
 	}
@@ -452,12 +466,12 @@ func (d *Deployment) Infer(targets []int, opt InferenceOptions) (*Result, error)
 // coordinates: all propagation, gating and classification happens on
 // |S|×f matrices over the batch's hop-0 supporting ball S instead of
 // full-graph n×f buffers, with a global→local remap bridging the two.
-func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferScratch) *Result {
+func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferScratch, tr *obs.Trace) *Result {
 	if d.relaxed != nil {
 		// Relaxed tiers run their own mirror of this function
 		// (precision.go); keeping the dispatch here is what makes the f64
 		// reference path below provably inert to the precision feature.
-		return d.inferBatchRelaxed(targets, opt, sc)
+		return d.inferBatchRelaxed(targets, opt, sc, tr)
 	}
 	m := d.Model
 	g := d.Graph
@@ -491,7 +505,9 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 	// After an early-exit wave the balls shrink, so the remaining hops'
 	// sets are re-derived from one BFS around the survivors — one BFS per
 	// exit wave instead of one from-scratch BFS per hop.
+	bfsAt := tr.Begin()
 	nested := graph.SupportingSetsScratch(g.Adj, targets, opt.TMax-1, sc.visited)
+	tr.End(obs.StageBFS, 0, -1, bfsAt)
 	base := 0
 
 	// Compact universe: S is the hop-0 ball of the full batch. Every later
@@ -512,12 +528,14 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 		// one remapped sub-CSR over those rows serves the whole batch.
 		// Pre-shaping the slices applies the scratch retention policy
 		// (geometric growth, 4× oversize drop) before extraction reuses them.
+		extAt := tr.Begin()
 		nnz := d.Adj.NNZRows(nested[1])
 		sc.sub.RowPtr = growScratch(sc.sub.RowPtr, s+1)
 		sc.sub.Col = growScratch(sc.sub.Col, nnz)
 		sc.sub.Val = growScratch(sc.sub.Val, nnz)
 		sc.localRows = growScratch(sc.localRows, len(nested[1]))
 		d.Adj.ExtractRowsInto(nested[1], sc.toLocal, s, &sc.sub)
+		tr.End(obs.StageExtract, 0, -1, extAt)
 	}
 
 	var fpTime time.Duration
@@ -525,6 +543,7 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 		rows := nested[l-1-base]
 
 		fpStart := time.Now()
+		fpAt := tr.Begin()
 		if l == 1 {
 			// Hop 1 reads the full-graph feature matrix: rows is exactly S,
 			// so compact output row k is local node k.
@@ -533,6 +552,7 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 			sc.localRows = graph.LocalizeSet(rows, sc.toLocal, sc.localRows)
 			res.MACs.Propagation += sc.sub.MulDenseRows(sc.localRows, locals[l-1], locals[l])
 		}
+		tr.End(obs.StagePropagate, l, -1, fpAt)
 		fpTime += time.Since(fpStart)
 
 		if l < opt.TMin {
@@ -541,10 +561,14 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 		if l < opt.TMax && opt.Mode != ModeFixed {
 			// Lines 9-13: decide and classify early exits.
 			decStart := time.Now()
+			decAt := tr.Begin()
 			exit := d.decide(l, locals[l], xinf, active, opt, &res.MACs, sc)
+			tr.End(obs.StageDecide, 0, -1, decAt)
 			fpTime += time.Since(decStart)
 			if len(exit) > 0 {
+				clsAt := tr.Begin()
 				d.classify(l, locals, targets, exit, res, sc)
+				tr.End(obs.StageClassify, 0, -1, clsAt)
 				active = removeIndices(active, exit, sc.rm)
 				if len(active) == 0 {
 					break
@@ -552,14 +576,18 @@ func (d *Deployment) inferBatch(targets []int, opt InferenceOptions, sc *inferSc
 				if !opt.NoSupportRecompute {
 					// Shrink: the remaining hops only need balls around
 					// the survivors (sampling counts in Time, not FP).
+					bfsAt = tr.Begin()
 					nested = graph.SupportingSetsScratch(
 						g.Adj, gather(targets, active), opt.TMax-l-1, sc.visited)
+					tr.End(obs.StageBFS, 0, -1, bfsAt)
 					base = l
 				}
 			}
 		} else if l == opt.TMax {
 			// Lines 16-17: everything left is classified at T_max.
+			clsAt := tr.Begin()
 			d.classify(l, locals, targets, active, res, sc)
+			tr.End(obs.StageClassify, 0, -1, clsAt)
 			active = nil
 		}
 	}

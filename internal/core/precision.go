@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // Precision tiers of the inference engine. PrecisionF64 (the default) runs
@@ -90,7 +91,7 @@ func (d *Deployment) RefreshPrecision() {
 // targets' rows are split out of the bulk kernel and computed by
 // fusedDecide together with their distance/gate statistic, in one pass over
 // each row instead of a separate matrix sweep.
-func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *inferScratch) *Result {
+func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *inferScratch, tr *obs.Trace) *Result {
 	m := d.Model
 	g := d.Graph
 	rx := d.relaxed
@@ -116,7 +117,9 @@ func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *
 		active[i] = i
 	}
 
+	bfsAt := tr.Begin()
 	nested := graph.SupportingSetsScratch(g.Adj, targets, opt.TMax-1, sc.visited)
+	tr.End(obs.StageBFS, 0, -1, bfsAt)
 	base := 0
 
 	support := nested[0]
@@ -129,6 +132,7 @@ func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *
 		sc.tloc[i] = int(sc.toLocal[v])
 	}
 	if opt.TMax >= 2 {
+		extAt := tr.Begin()
 		// Same remapped sub-CSR as the f64 path (its Col structure drives
 		// the relaxed kernels too), plus the tier's values gathered from the
 		// global lowering — ExtractRowsInto and GatherRowVals emit the same
@@ -145,6 +149,7 @@ func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *
 		case kernel.PrecisionInt8:
 			sc.sub8 = d.Adj.GatherRowVals8(nested[1], rx.adj8, sc.sub8)
 		}
+		tr.End(obs.StageExtract, 0, -1, extAt)
 	}
 	if len(sc.isT) < s {
 		sc.isT = make([]bool, s)
@@ -162,6 +167,7 @@ func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *
 		needDecide := l >= opt.TMin && l < opt.TMax && opt.Mode != ModeFixed
 
 		fpStart := time.Now()
+		fpAt := tr.Begin()
 		var exit []int
 		if l == 1 {
 			// Hop 1 reads the global mirrors; rows is exactly S, so compact
@@ -209,6 +215,9 @@ func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *
 			sc.localRows, sc.prevRows = sc.prevRows, sc.localRows
 			prevLive = sc.prevRows
 		}
+		// The fused gate rides inside the propagation kernel at relaxed
+		// tiers, so the hop span covers propagate+gate as one segment.
+		tr.End(obs.StagePropagate, l, -1, fpAt)
 		fpTime += time.Since(fpStart)
 
 		if l < opt.TMin {
@@ -216,19 +225,25 @@ func (d *Deployment) inferBatchRelaxed(targets []int, opt InferenceOptions, sc *
 		}
 		if l < opt.TMax && opt.Mode != ModeFixed {
 			if len(exit) > 0 {
+				clsAt := tr.Begin()
 				d.classifyRelaxed(l, s, f, targets, exit, res, sc)
+				tr.End(obs.StageClassify, 0, -1, clsAt)
 				active = removeIndices(active, exit, sc.rm)
 				if len(active) == 0 {
 					break
 				}
 				if !opt.NoSupportRecompute {
+					bfsAt = tr.Begin()
 					nested = graph.SupportingSetsScratch(
 						g.Adj, gather(targets, active), opt.TMax-l-1, sc.visited)
+					tr.End(obs.StageBFS, 0, -1, bfsAt)
 					base = l
 				}
 			}
 		} else if l == opt.TMax {
+			clsAt := tr.Begin()
 			d.classifyRelaxed(l, s, f, targets, active, res, sc)
+			tr.End(obs.StageClassify, 0, -1, clsAt)
 			active = nil
 		}
 	}

@@ -37,7 +37,7 @@ func inferWith(t *testing.T, d *Deployment, sc *inferScratch, targets []int, opt
 		sc.rm = make([]bool, len(targets))
 	}
 	sc.arena.shrink() // getScratch applies this on every pool hit
-	d.inferBatch(targets, opt, sc)
+	d.inferBatch(targets, opt, sc, nil)
 }
 
 func TestScratchReuseAcrossSupportSizes(t *testing.T) {

@@ -1,0 +1,18 @@
+package obs
+
+import "testing"
+
+// BenchmarkRequestHotPath is the per-request obs cost in isolation: one
+// trace start, one recorded span, one finish folding into the counters,
+// histograms and ring — under the parallelism of the serving benchmark.
+func BenchmarkRequestHotPath(b *testing.B) {
+	o := New(Options{RingSize: 64})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr := o.StartTrace()
+			at := tr.Begin()
+			tr.End(StageQueue, 0, -1, at)
+			o.FinishTrace(tr, "acme", "ok", 1)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ring is a bounded ring of recently completed traces backing
+// GET /debug/traces, plus the slow-request log. Traces evicted from the
+// ring return to an internal free list, so steady-state tracing
+// allocates nothing: each request reuses a Trace whose span array is
+// inline.
+type Ring struct {
+	mu    sync.Mutex
+	slots []*Trace
+	next  int
+	n     int
+	free  []*Trace
+
+	slow   time.Duration
+	logger *slog.Logger
+	seq    atomic.Uint64
+}
+
+// NewRing returns a ring keeping the last size completed traces
+// (size ≤ 0 defaults to 64). Traces slower than slow are also logged
+// via logger (slow = 0 disables the slow log; nil logger falls back to
+// slog.Default at log time).
+func NewRing(size int, slow time.Duration, logger *slog.Logger) *Ring {
+	if size <= 0 {
+		size = 64
+	}
+	return &Ring{slots: make([]*Trace, size), slow: slow, logger: logger}
+}
+
+// start returns a reset trace from the free list (allocating only when
+// the list is empty), under the given id or a fresh sequence id when 0.
+// at stamps the trace start (zero reads the clock).
+func (r *Ring) start(id uint64, at time.Time) *Trace {
+	if id == 0 {
+		id = r.seq.Add(1)
+	}
+	r.mu.Lock()
+	var t *Trace
+	if n := len(r.free); n > 0 {
+		t = r.free[n-1]
+		r.free = r.free[:n-1]
+	}
+	r.mu.Unlock()
+	if t == nil {
+		t = new(Trace)
+	}
+	t.reset(id, at)
+	return t
+}
+
+// finish inserts a completed trace, recycling the one it evicts, and
+// emits the slow-request log record when the threshold is crossed.
+func (r *Ring) finish(t *Trace) {
+	r.mu.Lock()
+	evicted := r.slots[r.next]
+	r.slots[r.next] = t
+	r.next = (r.next + 1) % len(r.slots)
+	if r.n < len(r.slots) {
+		r.n++
+	}
+	if evicted != nil {
+		r.free = append(r.free, evicted)
+	}
+	r.mu.Unlock()
+
+	if r.slow > 0 && t.total >= r.slow {
+		lg := r.logger
+		if lg == nil {
+			lg = slog.Default()
+		}
+		lg.Warn("slow request",
+			"trace", t.id,
+			"tenant", t.tenant,
+			"outcome", t.outcome,
+			"targets", t.targets,
+			"duration", t.total,
+			"spans", len(t.Spans()))
+	}
+}
+
+// SpanInfo is the JSON form of one span in GET /debug/traces.
+type SpanInfo struct {
+	// Stage is the span's stage label (see the Stage taxonomy).
+	Stage string `json:"stage"`
+	// Hop is the propagation hop for propagate spans.
+	Hop int `json:"hop,omitempty"`
+	// Shard is the shard id for fan-out/transport spans (omitted for
+	// unsharded spans; a pointer so shard 0 still renders).
+	Shard *int `json:"shard,omitempty"`
+	// Worker marks spans recorded on the worker side of an RPC.
+	Worker bool `json:"worker,omitempty"`
+	// StartUs is the span's offset from the trace start, microseconds.
+	StartUs int64 `json:"start_us"`
+	// DurUs is the span's duration, microseconds.
+	DurUs int64 `json:"dur_us"`
+}
+
+// TraceInfo is the JSON form of one completed trace in
+// GET /debug/traces, newest first.
+type TraceInfo struct {
+	// ID is the trace id (shared across router and worker for stitched
+	// traces).
+	ID uint64 `json:"id"`
+	// Start is the trace's wall-clock start time.
+	Start time.Time `json:"start"`
+	// Tenant is the requesting tenant ("" when untagged).
+	Tenant string `json:"tenant,omitempty"`
+	// Outcome is the request outcome (ok, cached, rejected, shed,
+	// deadline, error).
+	Outcome string `json:"outcome"`
+	// Targets is the request's target-node count.
+	Targets int `json:"targets"`
+	// TotalUs is the end-to-end duration, microseconds.
+	TotalUs int64 `json:"total_us"`
+	// Spans are the trace's spans in recording order.
+	Spans []SpanInfo `json:"spans"`
+}
+
+// Snapshot returns the completed traces, newest first.
+func (r *Ring) Snapshot() []TraceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceInfo, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		// Walk backwards from the slot most recently written.
+		idx := (r.next - 1 - i + len(r.slots)*2) % len(r.slots)
+		t := r.slots[idx]
+		if t == nil {
+			continue
+		}
+		ti := TraceInfo{
+			ID:      t.id,
+			Start:   t.wall,
+			Tenant:  t.tenant,
+			Outcome: t.outcome,
+			Targets: t.targets,
+			TotalUs: t.total.Microseconds(),
+		}
+		for _, sp := range t.Spans() {
+			si := SpanInfo{
+				Stage:   sp.Stage.String(),
+				Hop:     int(sp.Hop),
+				Worker:  sp.Worker,
+				StartUs: sp.Start.Microseconds(),
+				DurUs:   sp.Dur.Microseconds(),
+			}
+			if sp.Shard >= 0 {
+				id := int(sp.Shard)
+				si.Shard = &id
+			}
+			ti.Spans = append(ti.Spans, si)
+		}
+		out = append(out, ti)
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving the ring as JSON:
+// {"traces": [...]} newest first.
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"traces": r.Snapshot()})
+	})
+}

@@ -491,6 +491,28 @@ func (d *Detector) ShedAt(now time.Time) bool {
 	return true
 }
 
+// Peek reports what the combined degraded state would be if the depth
+// signal were re-evaluated against the given load — without committing
+// the evaluation. Monitoring reads (GET /stats, /metrics scrapes) use it
+// so an idle server whose queue drained reports healthy, while the
+// detector's stored state — which ShedAt and the transition counter act
+// on — can only be flipped by the real submit/flush path via Update and
+// ObserveFlush, never by a scrape racing a submit.
+func (d *Detector) Peek(pending, capacity int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	depth := d.depthTrip
+	if capacity > 0 {
+		util := float64(pending) / float64(capacity)
+		if !depth && util >= d.cfg.TripUtilization {
+			depth = true
+		} else if depth && util <= d.cfg.ClearUtilization {
+			depth = false
+		}
+	}
+	return depth || d.latTrip
+}
+
 // Degraded reports the current combined state.
 func (d *Detector) Degraded() bool {
 	d.mu.Lock()

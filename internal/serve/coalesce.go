@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qos"
 )
 
@@ -27,6 +28,11 @@ type pending struct {
 	res      *core.Result
 	err      error
 	done     chan struct{}
+	// tr is the request's trace (nil when obs is disabled); enq is when
+	// the request entered the window, closing the queue-wait span at
+	// flush time.
+	tr  *obs.Trace
+	enq time.Time
 }
 
 // doneCtx is the slice of context.Context the coalescer needs; a named
@@ -216,6 +222,16 @@ func (c *coalescer) flush(batch []*pending) {
 		c.detector.Update(c.budget.Pending(), c.budget.Capacity())
 		return
 	}
+	// Close each waiter's queue span (enqueue → flush start), then record
+	// batch assembly in the representative trace — the first live waiter's,
+	// which also carries the engine/router spans for this flush (one flush
+	// is one backend call, so its stages belong to one stitched trace).
+	flushAt := time.Now()
+	for _, p := range live {
+		p.tr.EndAt(obs.StageQueue, 0, -1, p.enq, flushAt)
+	}
+	rep := live[0].tr
+	asmAt := flushAt
 	total := 0
 	for _, p := range live {
 		p.lo = total
@@ -225,6 +241,7 @@ func (c *coalescer) flush(batch []*pending) {
 	for _, p := range live {
 		all = append(all, p.targets...)
 	}
+	rep.End(obs.StageAssemble, 0, -1, asmAt)
 
 	opt := c.srv.cfg.Opt
 	opt.BatchSize = 0 // one shared supporting ball is the whole point
@@ -273,16 +290,19 @@ func (c *coalescer) infer(live []*pending, all []int, opt core.InferenceOptions)
 	if !ok {
 		return c.srv.backend.Infer(all, opt)
 	}
+	// The representative trace rides the flush context, so the backend's
+	// stages (engine, router fan-out, transport) record into it.
+	base := obs.ContextWithTrace(context.Background(), live[0].tr)
 	var latest time.Time
 	for _, p := range live {
 		if p.deadline.IsZero() {
-			return cb.InferContext(context.Background(), all, opt)
+			return cb.InferContext(base, all, opt)
 		}
 		if p.deadline.After(latest) {
 			latest = p.deadline
 		}
 	}
-	ctx, cancel := context.WithDeadline(context.Background(), latest)
+	ctx, cancel := context.WithDeadline(base, latest)
 	defer cancel()
 	return cb.InferContext(ctx, all, opt)
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -24,7 +25,9 @@ func newDistributedServer(t *testing.T, p int, cfg Config) (*Server, *shard.Rout
 }
 
 // newDistributedServerAt is newDistributedServer with the whole fleet —
-// workers and router — bootstrapped at an explicit precision tier.
+// workers and router — bootstrapped at an explicit precision tier. Workers
+// run with their own observability surface, like `naiserve -shard-worker`
+// does, so every distributed test also exercises worker-side tracing.
 func newDistributedServerAt(t *testing.T, p int, cfg Config, prec kernel.Precision) (*Server, *shard.Router, []*httptest.Server) {
 	t.Helper()
 	ds, m := fixture(t)
@@ -38,7 +41,7 @@ func newDistributedServerAt(t *testing.T, p int, cfg Config, prec kernel.Precisi
 		if err != nil {
 			t.Fatal(err)
 		}
-		servers[i] = httptest.NewServer(shard.WorkerHandler(w))
+		servers[i] = httptest.NewServer(shard.WorkerHandlerObs(w, obs.New(obs.Options{RingSize: 16})))
 		addrs[i] = servers[i].URL
 		t.Cleanup(servers[i].Close)
 	}

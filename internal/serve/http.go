@@ -81,11 +81,13 @@ type HealthResponse struct {
 
 // Handler returns the daemon's HTTP mux:
 //
-//	POST /infer   — classify existing nodes (coalesced with other callers)
-//	POST /nodes   — append unseen nodes (+ optional incident edges)
-//	POST /edges   — append edges between existing nodes
-//	GET  /stats   — counters, latency percentiles, coalescing efficiency
-//	GET  /healthz — liveness + graph size
+//	POST /infer        — classify existing nodes (coalesced with other callers)
+//	POST /nodes        — append unseen nodes (+ optional incident edges)
+//	POST /edges        — append edges between existing nodes
+//	GET  /stats        — counters, latency percentiles, coalescing efficiency
+//	GET  /healthz      — liveness + graph size
+//	GET  /metrics      — Prometheus text-format metrics (internal/obs)
+//	GET  /debug/traces — recent completed request traces, newest first
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", s.handleInfer)
@@ -93,6 +95,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/edges", s.handleEdges)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.obs != nil {
+		mux.Handle("/metrics", s.obs.Reg.Handler())
+		mux.Handle("/debug/traces", s.obs.Ring.Handler())
+	}
 	return mux
 }
 

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+)
+
+// tracesBody is the JSON shape of GET /debug/traces.
+type tracesBody struct {
+	Traces []struct {
+		ID      uint64 `json:"id"`
+		Tenant  string `json:"tenant"`
+		Outcome string `json:"outcome"`
+		Targets int    `json:"targets"`
+		TotalUs int64  `json:"total_us"`
+		Spans   []struct {
+			Stage string `json:"stage"`
+			Hop   int    `json:"hop"`
+			// Shard is a pointer: absent for unsharded spans, so a
+			// present-but-zero shard id is distinguishable from omitted.
+			Shard  *int  `json:"shard"`
+			Worker bool  `json:"worker"`
+			DurUs  int64 `json:"dur_us"`
+		} `json:"spans"`
+	} `json:"traces"`
+}
+
+func getTraces(t *testing.T, url string) tracesBody {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body tracesBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func getMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestStitchedDistributedTrace is the acceptance path: one request through
+// the sharded HTTP-transport stack leaves one trace in /debug/traces that
+// carries both the router's own spans (queue, fan-out, rpc, merge) and the
+// engine spans each worker recorded under the same id, stitched back over
+// the wire with worker=true.
+func TestStitchedDistributedTrace(t *testing.T) {
+	ds, _ := fixture(t)
+	s, _, _ := newDistributedServer(t, 2, Config{MaxBatch: 8, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, _, err := s.ClassifyContext(context.Background(), ds.Split.Test[:4], "acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	body := getTraces(t, ts.URL)
+	if len(body.Traces) != 1 {
+		t.Fatalf("%d traces after one request, want 1", len(body.Traces))
+	}
+	tr := body.Traces[0]
+	if tr.ID == 0 || tr.Tenant != "acme" || tr.Outcome != "ok" || tr.Targets != 4 {
+		t.Fatalf("trace header %+v", tr)
+	}
+
+	router := map[string]bool{}
+	worker := map[string]bool{}
+	workerShards := map[int]bool{}
+	for _, sp := range tr.Spans {
+		if sp.Worker {
+			worker[sp.Stage] = true
+			if sp.Shard == nil {
+				t.Fatalf("worker span %q shipped without a shard id", sp.Stage)
+			}
+			workerShards[*sp.Shard] = true
+		} else {
+			router[sp.Stage] = true
+		}
+	}
+	for _, stage := range []string{"queue", "assemble", "fanout", "rpc", "merge"} {
+		if !router[stage] {
+			t.Fatalf("router span %q missing; got router=%v worker=%v", stage, router, worker)
+		}
+	}
+	for _, stage := range []string{"bfs", "extract", "propagate", "classify"} {
+		if !worker[stage] {
+			t.Fatalf("worker span %q missing; got worker=%v", stage, worker)
+		}
+	}
+	// Targets span the whole id space, so both shards must have shipped
+	// spans back, each tagged with its own shard id at the splice.
+	if !workerShards[0] || !workerShards[1] {
+		t.Fatalf("worker spans from shards %v, want both 0 and 1", workerShards)
+	}
+}
+
+// TestMetricsSurfaceDistributed: the router's /metrics scrape is valid
+// Prometheus text format carrying the request counters, stage histograms,
+// graph gauges and per-shard health gauges; each worker's own /metrics
+// carries its graph gauges and its engine-stage histograms.
+func TestMetricsSurfaceDistributed(t *testing.T) {
+	ds, _ := fixture(t)
+	s, _, workers := newDistributedServer(t, 2, Config{MaxBatch: 8, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, _, err := s.ClassifyContext(context.Background(), ds.Split.Test[:4], "acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	out := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		`nai_requests_total{outcome="ok"} 1`,
+		"nai_targets_total 4",
+		`nai_stage_duration_seconds_bucket{stage="fanout",le="+Inf"}`,
+		`nai_stage_duration_seconds_bucket{stage="rpc",le="+Inf"}`,
+		"# TYPE nai_request_duration_seconds histogram",
+		"nai_graph_nodes",
+		"nai_pending_targets 0",
+		`nai_shard_up{shard="0"} 1`,
+		`nai_shard_up{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("router /metrics missing %q in:\n%s", want, out)
+		}
+	}
+
+	wout := getMetrics(t, workers[0].URL)
+	for _, want := range []string{
+		"nai_shard_id 0",
+		"nai_graph_nodes",
+		`nai_requests_total{outcome="ok"} 1`,
+		`nai_stage_duration_seconds_bucket{stage="propagate",le="+Inf"}`,
+	} {
+		if !strings.Contains(wout, want) {
+			t.Fatalf("worker /metrics missing %q in:\n%s", want, wout)
+		}
+	}
+}
+
+// TestCachedAndDeadlineOutcomesRecorded pins the fixed accounting paths: a
+// fully-cached answer and an already-missed deadline both reach the tenant
+// tracker and the obs counters instead of vanishing before instrumentation.
+func TestCachedAndDeadlineOutcomesRecorded(t *testing.T) {
+	ds, _ := fixture(t)
+	s, _ := newTestServer(t, Config{MaxBatch: 8, MaxWait: time.Millisecond, CacheSize: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the cache, then replay the same targets: the second call is
+	// answered without touching the backend.
+	if _, _, err := s.ClassifyContext(context.Background(), ds.Split.Test[:3], "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ClassifyContext(context.Background(), ds.Split.Test[:3], "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tenant whose only traffic misses its deadline before submission
+	// must still show up in per-tenant stats with a real latency sample.
+	// Targets the warm-up did not touch, so the cache cannot answer first.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := s.ClassifyContext(expired, ds.Split.Test[4:6], "late"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want DeadlineExceeded", err)
+	}
+
+	st := s.Stats()
+	warm := st.Tenants["warm"]
+	if warm.Requests != 2 || warm.Targets != 6 {
+		t.Fatalf("warm tenant %+v, want both the miss and the cached hit counted", warm)
+	}
+	late, ok := st.Tenants["late"]
+	if !ok || late.Requests != 1 || late.DeadlineMisses != 1 {
+		t.Fatalf("late tenant %+v, want 1 request / 1 deadline miss", late)
+	}
+	if late.LatencyP50us <= 0 {
+		t.Fatalf("late tenant has no latency sample: %+v", late)
+	}
+
+	out := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		`nai_requests_total{outcome="ok"} 1`,
+		`nai_requests_total{outcome="cached"} 1`,
+		`nai_requests_total{outcome="deadline"} 1`,
+		"nai_cache_hits 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The cached answer leaves a trace with a "cached" outcome.
+	var sawCached bool
+	for _, tr := range getTraces(t, ts.URL).Traces {
+		if tr.Outcome == "cached" && tr.Tenant == "warm" {
+			sawCached = true
+		}
+	}
+	if !sawCached {
+		t.Fatal("no cached-outcome trace in /debug/traces")
+	}
+}
+
+// TestScrapesDuringDeltaStorm hammers /metrics and /stats while inference
+// traffic races graph deltas. Scrape-time gauge reads share the serving
+// read lock, so under -race this pins the contract that observability
+// never tears a delta's exclusive section.
+func TestScrapesDuringDeltaStorm(t *testing.T) {
+	ds, _ := fixture(t)
+	s, _ := newTestServer(t, Config{MaxBatch: 8, MaxWait: time.Millisecond, CacheSize: 32})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	f := ds.Graph.F()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // inference traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _, _ = s.ClassifyContext(context.Background(),
+				ds.Split.Test[i%4:i%4+2], fmt.Sprintf("t%d", i%3))
+		}
+	}()
+	go func() { // delta storm
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			row := make([]float64, f)
+			row[i%f] = 1
+			_, _ = s.ApplyDelta(graph.Delta{
+				Features: mat.FromRows([][]float64{row}), Labels: []int{0},
+				Src: []int{ds.Graph.N() + i}, Dst: []int{i % ds.Graph.N()}})
+		}
+	}()
+	go func() { // scrapers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range []string{"/metrics", "/stats", "/debug/traces"} {
+				resp, err := http.Get(ts.URL + p)
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The surface is still coherent after the storm.
+	out := getMetrics(t, ts.URL)
+	if !strings.Contains(out, "nai_graph_version") {
+		t.Fatalf("post-storm scrape incoherent:\n%s", out)
+	}
+}
+
+// TestScrapesDuringShardOutage: scraping /metrics and /stats while a dead
+// worker is failing requests must stay race-free and report the outage in
+// the shard gauges.
+func TestScrapesDuringShardOutage(t *testing.T) {
+	ds, _ := fixture(t)
+	s, rt, servers := newDistributedServer(t, 2, Config{MaxBatch: 8, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	servers[1].Close()
+	rt.Probe(context.Background())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // traffic into the dead shard
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _, _ = s.ClassifyContext(context.Background(), ds.Split.Test, "acme")
+		}
+	}()
+	go func() { // scrapers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range []string{"/metrics", "/stats"} {
+				resp, err := http.Get(ts.URL + p)
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	out := getMetrics(t, ts.URL)
+	if !strings.Contains(out, `nai_shard_up{shard="1"} 0`) {
+		t.Fatalf("dead shard not reported in gauges:\n%s", out)
+	}
+	if !strings.Contains(out, `nai_requests_total{outcome="error"}`) {
+		t.Fatalf("failed requests not counted:\n%s", out)
+	}
+}
+
+// TestMetricsDisabled: Config.DisableObs removes the surface entirely —
+// no /metrics route, no per-request tracing — and serving still works.
+// This is the benchgate baseline configuration.
+func TestMetricsDisabled(t *testing.T) {
+	ds, _ := fixture(t)
+	s, _ := newTestServer(t, Config{MaxBatch: 8, MaxWait: time.Millisecond, DisableObs: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, _, err := s.ClassifyContext(context.Background(), ds.Split.Test[:2], "acme"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled obs still serves /metrics: %d", resp.StatusCode)
+	}
+}

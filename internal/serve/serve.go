@@ -44,12 +44,14 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/shard"
 )
@@ -119,6 +121,21 @@ type Config struct {
 	// burst. nil admits everything at weight 1. Build one with
 	// qos.ParseQuotas.
 	Quotas *qos.Quotas
+	// TraceRing bounds the ring of recent completed request traces served
+	// at GET /debug/traces; ≤0 defaults to 64.
+	TraceRing int
+	// SlowTrace is the slow-request log threshold: a request slower than
+	// this is logged via Logger with its trace id, tenant, outcome and
+	// duration. 0 disables the slow log.
+	SlowTrace time.Duration
+	// Logger receives the slow-request log records; nil falls back to
+	// slog.Default.
+	Logger *slog.Logger
+	// DisableObs turns the observability layer off entirely (no metrics
+	// registry, no traces). The overhead benchmark uses it to measure the
+	// uninstrumented baseline; production serving leaves it false —
+	// instrumentation is always-on by contract.
+	DisableObs bool
 	// Shed enables degraded mode: when the overload detector trips
 	// (pending work ≥90% of MaxPending, or the flush-latency EWMA exceeds
 	// DefaultDeadline), requests that would need a fresh NAP inference are
@@ -231,6 +248,9 @@ type Server struct {
 	// cached mirrors Config.CacheSize > 0: Classify consults the backend's
 	// result cache before the coalescer and flushes fill it.
 	cached bool
+	// obs is the observability bundle (metrics registry + trace ring);
+	// nil only under Config.DisableObs, and every use is nil-safe.
+	obs *obs.Obs
 }
 
 // New wraps a single deployment. The deployment must not be mutated behind
@@ -261,8 +281,21 @@ func NewBackend(b Backend, cfg Config) *Server {
 		Local:   cfg.Opt.Mode == core.ModeFixed,
 	})
 	s.co = newCoalescer(s)
+	if !cfg.DisableObs {
+		s.obs = obs.New(obs.Options{
+			RingSize:      cfg.TraceRing,
+			SlowThreshold: cfg.SlowTrace,
+			Logger:        cfg.Logger,
+		})
+		s.registerGauges()
+	}
 	return s
 }
+
+// Obs exposes the server's observability bundle (nil under
+// Config.DisableObs) so wiring code can register additional gauges on
+// its registry.
+func (s *Server) Obs() *obs.Obs { return s.obs }
 
 // Classify answers one request for the given target nodes with no
 // deadline, tenant attribution or cancellation — ClassifyContext with a
@@ -300,6 +333,7 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	}
 	start := time.Now()
 	s.stats.countTenantRequest(tenant, len(targets))
+	tr := s.obs.StartTraceAt(start)
 	// Tenant quota first: it is the cheapest check and a tenant over its
 	// rate limit should not even get cache reads. The charge is one token
 	// per target (quotas meter inference work, not calls), so a request the
@@ -307,10 +341,12 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	// would invite a retry loop that can never succeed.
 	charge := float64(len(targets))
 	if maxc := s.cfg.Quotas.MaxCharge(tenant); charge > maxc {
+		s.obs.FinishTrace(tr, tenant, "invalid", len(targets))
 		return nil, nil, badRequestf("serve: request has %d targets, tenant %q quota burst admits at most %.0f", len(targets), tenant, maxc)
 	}
 	if ok, retry := s.cfg.Quotas.AllowAt(start, tenant, charge); !ok {
 		s.stats.countRejected()
+		s.obs.FinishTrace(tr, tenant, "rejected", len(targets))
 		return nil, nil, &retryableError{err: ErrQuota, retry: retry}
 	}
 	if s.cfg.DefaultDeadline > 0 {
@@ -330,6 +366,7 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	for _, v := range targets {
 		if v < 0 || v >= n {
 			s.co.graphMu.RUnlock()
+			s.obs.FinishTrace(tr, tenant, "invalid", len(targets))
 			return nil, nil, badRequestf("serve: node %d outside [0,%d)", v, n)
 		}
 	}
@@ -350,9 +387,13 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 
 	if s.cached && len(miss) == 0 {
 		// Fully served from cache: the request never touches the coalescer.
+		// Latency is recorded in both the global and the per-tenant rings —
+		// cache hits are the fast tail of the distribution, and excluding
+		// them would silently inflate every reported percentile.
 		s.stats.countCached()
 		s.stats.observe(time.Since(start))
 		s.stats.observeTenant(tenant, time.Since(start))
+		s.obs.FinishTrace(tr, tenant, "cached", len(targets))
 		return preds, depths, nil
 	}
 	if !s.cached {
@@ -365,15 +406,35 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	// the signal's only recovery path once traffic is being shed.
 	if s.cfg.Shed && s.cfg.Opt.Mode != core.ModeFixed && s.co.detector.ShedAt(start) {
 		s.stats.countShed()
+		s.obs.FinishTrace(tr, tenant, "shed", len(targets))
 		return nil, nil, ErrShed
 	}
 	deadline, _ := ctx.Deadline()
 	p := &pending{targets: miss, tenant: tenant, ctx: ctx, deadline: deadline,
-		done: make(chan struct{})}
+		done: make(chan struct{}), tr: tr, enq: time.Now()}
 	if err := s.co.submit(p); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// Deadline misses are the slow tail: they must land in the
+			// latency rings too, or the percentiles report only the
+			// requests that made it.
 			s.stats.countTenantDeadlineMiss(tenant)
+			s.stats.observe(time.Since(start))
+			s.stats.observeTenant(tenant, time.Since(start))
+			s.obs.Count("deadline")
+		case errors.Is(err, context.Canceled):
+			s.obs.Count("error")
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuota):
+			// Rejected before enqueueing: the flusher never saw the
+			// pending, so the trace can be finished (and recycled) here.
+			s.obs.FinishTrace(tr, tenant, "rejected", len(targets))
+		default:
+			s.obs.FinishTrace(tr, tenant, "error", len(targets))
 		}
+		// Context-error returns only count the outcome: the flush may
+		// still be recording spans into this trace (the caller gave up
+		// mid-flight), so it must never re-enter the trace pool — the GC
+		// reclaims it instead.
 		return nil, nil, err
 	}
 	mp, md := p.res.Window(p.lo, p.lo+len(miss))
@@ -388,6 +449,7 @@ func (s *Server) ClassifyContext(ctx context.Context, targets []int, tenant stri
 	}
 	s.stats.observe(time.Since(start))
 	s.stats.observeTenant(tenant, time.Since(start))
+	s.obs.FinishTrace(tr, tenant, "ok", len(targets))
 	return preds, depths, nil
 }
 

@@ -348,10 +348,12 @@ func (s *Server) Stats() Stats {
 
 	st.PendingTargets = s.co.budget.Pending()
 	st.MaxPending = s.co.budget.Capacity()
-	// Refresh the depth signal before reading: an idle server whose queue
-	// drained should report Degraded=false even if nothing submitted since.
-	s.co.detector.Update(st.PendingTargets, st.MaxPending)
-	st.Degraded = s.co.detector.Degraded()
+	// Peek re-evaluates the depth signal against the current load without
+	// committing it: an idle server whose queue drained reports
+	// Degraded=false, but a monitoring scrape can never flip the
+	// detector's stored state under a racing submit (only the real
+	// submit/flush path mutates it).
+	st.Degraded = s.co.detector.Peek(st.PendingTargets, st.MaxPending)
 	st.DegradedTransitions = s.co.detector.Transitions()
 	st.FlushEWMAUs = s.co.detector.FlushEWMA().Microseconds()
 

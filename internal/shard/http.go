@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // The worker wire protocol: three endpoints carrying the binary codec of
@@ -33,9 +34,22 @@ import (
 // peer cannot make a worker buffer an unbounded body.
 const workerMaxBody = 256 << 20
 
-// WorkerHandler serves one Worker over the shard wire protocol; mount it as
-// the root handler of a worker process (cmd/naiserve -shard-worker does).
+// WorkerHandler serves one Worker over the shard wire protocol without
+// observability — WorkerHandlerObs with a nil Obs.
 func WorkerHandler(w *Worker) http.Handler {
+	return WorkerHandlerObs(w, nil)
+}
+
+// WorkerHandlerObs serves one Worker over the shard wire protocol; mount it
+// as the root handler of a worker process (cmd/naiserve -shard-worker
+// does). A non-nil o gives the worker its own observability surface: every
+// /shard/infer call records engine spans into a worker-side trace started
+// under the router's trace id (shipped back with the result so the router
+// stitches the two halves), the worker's registry is served at GET /metrics
+// and its trace ring at GET /debug/traces, and worker-state gauges
+// (subgraph size, graph version, shard id) are registered on o.Reg — so
+// call WorkerHandlerObs once per Obs.
+func WorkerHandlerObs(w *Worker, o *obs.Obs) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/shard/infer", func(rw http.ResponseWriter, r *http.Request) {
 		body, ok := readWireBody(rw, r)
@@ -47,12 +61,18 @@ func WorkerHandler(w *Worker) http.Handler {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := w.Infer(req)
+		tr := o.StartTraceID(req.TraceID) // nil o → nil trace, all no-ops
+		res, err := w.InferContext(obs.ContextWithTrace(r.Context(), tr), req)
 		if err != nil {
+			o.FinishTrace(tr, "", "error", len(req.Targets))
 			writeWorkerError(rw, err)
 			return
 		}
-		writeWire(rw, encodeResult(res))
+		// Copy the spans before FinishTrace recycles the trace into the
+		// ring's free list (Spans aliases the trace's internal array).
+		spans := append([]obs.Span(nil), tr.Spans()...)
+		o.FinishTrace(tr, "", "ok", len(req.Targets))
+		writeWire(rw, encodeResult(res, spans))
 	})
 	mux.HandleFunc("/shard/delta", func(rw http.ResponseWriter, r *http.Request) {
 		body, ok := readWireBody(rw, r)
@@ -77,6 +97,19 @@ func WorkerHandler(w *Worker) http.Handler {
 		}
 		writeWire(rw, encodeHealthInfo(w.Health()))
 	})
+	if o != nil {
+		o.Reg.GaugeFunc("nai_graph_nodes",
+			"Local subgraph node count (owned + halo).",
+			func() float64 { return float64(w.Health().Nodes) })
+		o.Reg.GaugeFunc("nai_graph_version",
+			"Worker graph version (1 = bootstrapped, +1 per applied delta).",
+			func() float64 { return float64(w.Health().Version) })
+		o.Reg.GaugeFunc("nai_shard_id",
+			"The shard this worker serves.",
+			func() float64 { return float64(w.Health().ShardID) })
+		mux.Handle("/metrics", o.Reg.Handler())
+		mux.Handle("/debug/traces", o.Ring.Handler())
+	}
 	return mux
 }
 
@@ -250,15 +283,34 @@ func (t *HTTPTransport) call(ctx context.Context, shardID int, method, path stri
 	}
 }
 
-// Infer runs one shard-local batch on the remote worker.
+// Infer runs one shard-local batch on the remote worker. A trace riding
+// ctx gets encode/rpc/decode spans tagged with the shard, its id travels
+// in the request so the worker records under the same id, and the
+// worker-side spans shipped back with the result are spliced into the
+// trace marked Worker (their offsets are the worker clock's — the two
+// clocks are not synchronized).
 func (t *HTTPTransport) Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error) {
-	data, err := t.call(ctx, shardID, http.MethodPost, "/shard/infer", encodeInferRequest(req))
+	tr := obs.FromContext(ctx)
+	req.TraceID = tr.ID()
+	encAt := tr.Begin()
+	body := encodeInferRequest(req)
+	tr.End(obs.StageEncode, 0, shardID, encAt)
+	rpcAt := tr.Begin()
+	data, err := t.call(ctx, shardID, http.MethodPost, "/shard/infer", body)
+	tr.End(obs.StageRPC, 0, shardID, rpcAt)
 	if err != nil {
 		return nil, err
 	}
-	res, err := decodeResult(data)
+	decAt := tr.Begin()
+	res, spans, err := decodeResult(data)
+	tr.End(obs.StageDecode, 0, shardID, decAt)
 	if err != nil {
 		return nil, &TransportError{Shard: shardID, Err: err}
+	}
+	for _, sp := range spans {
+		sp.Worker = true
+		sp.Shard = int16(shardID)
+		tr.Add(sp)
 	}
 	return res, nil
 }

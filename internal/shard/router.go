@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -508,17 +509,21 @@ func (r *Router) InferContext(ctx context.Context, targets []int, opt core.Infer
 	version := r.version.Load()
 	results := make([]*core.Result, len(calls))
 	errs := make([]error, len(calls))
+	tr := obs.FromContext(ctx)
 	// Every per-shard call runs a full batch pipeline — supporting-ball
 	// BFS, sub-CSR extraction, propagation — whose cost dwarfs a goroutine
 	// spawn even for single-target requests (the ball scales with the
 	// graph's degrees, not the target count), so any multi-shard request
 	// clears par's fan-out threshold by construction; a single-shard
-	// request runs inline either way.
+	// request runs inline either way. Fan-out spans record concurrently
+	// into the shared trace (span appends are atomic).
 	par.For(len(calls), par.Threshold*len(calls), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			p := calls[k]
+			at := tr.Begin()
 			results[k], errs[k] = r.inferShard(ctx, p,
 				&InferRequest{Version: version, Targets: local[p], Opt: opt, Precision: r.prec})
+			tr.End(obs.StageFanout, 0, p, at)
 		}
 	})
 	for _, err := range errs {
@@ -527,6 +532,7 @@ func (r *Router) InferContext(ctx context.Context, targets []int, opt core.Infer
 		}
 	}
 
+	mergeAt := tr.Begin()
 	agg.Pred = make([]int, len(targets))
 	agg.Depths = make([]int, len(targets))
 	for k, p := range calls {
@@ -543,6 +549,7 @@ func (r *Router) InferContext(ctx context.Context, targets []int, opt core.Infer
 		agg.FPTime += res.FPTime
 		agg.NumTargets += res.NumTargets
 	}
+	tr.End(obs.StageMerge, 0, -1, mergeAt)
 	return agg, nil
 }
 

@@ -53,6 +53,11 @@ type InferRequest struct {
 	// different tier answers with a precision conflict (HTTP 409) rather than
 	// silently mixing kernels across the fleet.
 	Precision kernel.Precision
+	// TraceID is the router-side trace id (0 = untraced). The wire codec
+	// carries it so the worker records its engine spans under the same id
+	// and ships them back with the result, stitching the worker half of the
+	// request into the router's trace.
+	TraceID uint64
 }
 
 // HealthInfo is one shard's health-probe report.
@@ -183,12 +188,14 @@ func (t *LocalTransport) check(ctx context.Context, shardID int) error {
 	return nil
 }
 
-// Infer dispatches directly to the in-process worker.
+// Infer dispatches directly to the in-process worker. The context flows
+// through unchanged, so an obs.Trace riding it collects the worker's
+// engine spans directly — no wire stitching in-process.
 func (t *LocalTransport) Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error) {
 	if err := t.check(ctx, shardID); err != nil {
 		return nil, err
 	}
-	return t.workers[shardID].Infer(req)
+	return t.workers[shardID].InferContext(ctx, req)
 }
 
 // ApplyDelta dispatches directly to the in-process worker.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // The shard wire format: a length-agnostic binary codec for the messages
@@ -27,9 +28,12 @@ import (
 const wireMagic = "NAIW"
 
 // wireVersion 2 added the precision tier to msgInfer and msgHealth (and the
-// errKindPrecision conflict); a version-1 peer is rejected at decode, which
-// is the right failure for a router and worker that disagree on the format.
-const wireVersion = 2
+// errKindPrecision conflict); version 3 added the trace id to msgInfer and
+// the worker-side span list to msgResult (end-to-end tracing across the
+// router↔worker boundary). A peer speaking an older version is rejected at
+// decode, which is the right failure for a router and worker that disagree
+// on the format.
+const wireVersion = 3
 
 // message types
 const (
@@ -223,7 +227,8 @@ func encodeInferRequest(req *InferRequest) []byte {
 		flags = 1
 	}
 	b = appendInt(b, flags)
-	return appendInt(b, int(req.Precision))
+	b = appendInt(b, int(req.Precision))
+	return appendUint(b, req.TraceID)
 }
 
 func decodeInferRequest(b []byte) (*InferRequest, error) {
@@ -244,13 +249,18 @@ func decodeInferRequest(b []byte) (*InferRequest, error) {
 	if !req.Precision.Valid() {
 		d.fail("unknown precision tier %d", int(req.Precision))
 	}
+	req.TraceID = d.uint()
 	if err := d.done(); err != nil {
 		return nil, err
 	}
 	return req, nil
 }
 
-func encodeResult(res *core.Result) []byte {
+// encodeResult serializes one shard answer plus the worker-side trace
+// spans recorded while computing it (nil when the worker runs without
+// observability). Each span is five varints: stage, hop, shard, start
+// offset and duration in nanoseconds.
+func encodeResult(res *core.Result, spans []obs.Span) []byte {
 	b := appendHeader(nil, msgResult)
 	b = appendInts(b, res.Pred)
 	b = appendInts(b, res.Depths)
@@ -262,13 +272,22 @@ func encodeResult(res *core.Result) []byte {
 	b = appendInt(b, res.MACs.Classification)
 	b = appendInt(b, int(res.TotalTime))
 	b = appendInt(b, int(res.FPTime))
-	return appendInt(b, res.NumTargets)
+	b = appendInt(b, res.NumTargets)
+	b = appendUint(b, uint64(len(spans)))
+	for _, sp := range spans {
+		b = appendInt(b, int(sp.Stage))
+		b = appendInt(b, int(sp.Hop))
+		b = appendInt(b, int(sp.Shard))
+		b = appendInt(b, int(sp.Start))
+		b = appendInt(b, int(sp.Dur))
+	}
+	return b
 }
 
-func decodeResult(b []byte) (*core.Result, error) {
+func decodeResult(b []byte) (*core.Result, []obs.Span, error) {
 	p, err := checkHeader(b, msgResult)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d := &dec{b: p}
 	res := &core.Result{
@@ -284,10 +303,35 @@ func decodeResult(b []byte) (*core.Result, error) {
 	res.TotalTime = time.Duration(d.int())
 	res.FPTime = time.Duration(d.int())
 	res.NumTargets = d.int()
+	spans := d.spans()
 	if err := d.done(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return res, nil
+	return res, spans, nil
+}
+
+// spans decodes a worker span list. Stages are validated before the spans
+// reach anything that indexes per-stage instruments by them — a hostile
+// stage value must fail the decode, not panic the router.
+func (d *dec) spans() []obs.Span {
+	n := d.count(5) // ≥ 5 bytes per span (five varints)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	spans := make([]obs.Span, n)
+	for i := range spans {
+		sp := &spans[i]
+		sp.Stage = obs.Stage(d.int())
+		if d.err == nil && !sp.Stage.Valid() {
+			d.fail("unknown span stage %d", int(sp.Stage))
+			return nil
+		}
+		sp.Hop = int16(d.int())
+		sp.Shard = int16(d.int())
+		sp.Start = time.Duration(d.int())
+		sp.Dur = time.Duration(d.int())
+	}
+	return spans
 }
 
 func encodeShardDelta(sd *ShardDelta) []byte {

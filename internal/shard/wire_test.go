@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/obs"
 )
 
 // TestWireRoundTrip: every message type must decode back to exactly what was
@@ -21,6 +22,7 @@ func TestWireRoundTrip(t *testing.T) {
 		Opt: core.InferenceOptions{Mode: core.ModeDistance, Ts: 1.0 / 3.0,
 			TMin: 1, TMax: 4, BatchSize: 128, Workers: 3, NoSupportRecompute: true},
 		Precision: kernel.PrecisionInt8,
+		TraceID:   0xdeadbeef,
 	}
 	gotReq, err := decodeInferRequest(encodeInferRequest(req))
 	if err != nil {
@@ -39,12 +41,28 @@ func TestWireRoundTrip(t *testing.T) {
 		NumTargets:    3,
 	}
 	res.MACs = core.MACBreakdown{Stationary: 1, Propagation: 2, Decision: 3, Combine: 4, Classification: 5}
-	gotRes, err := decodeResult(encodeResult(res))
+	spans := []obs.Span{
+		{Stage: obs.StageBFS, Shard: 2, Start: 10 * time.Microsecond, Dur: 30 * time.Microsecond},
+		{Stage: obs.StagePropagate, Hop: 3, Shard: 2, Start: 40 * time.Microsecond, Dur: 55 * time.Microsecond},
+	}
+	gotRes, gotSpans, err := decodeResult(encodeResult(res, spans))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(res, gotRes) {
 		t.Fatalf("Result: %+v != %+v", gotRes, res)
+	}
+	if !reflect.DeepEqual(spans, gotSpans) {
+		t.Fatalf("spans: %+v != %+v", gotSpans, spans)
+	}
+
+	// A span-free result (uninstrumented worker) round-trips with nil spans.
+	gotRes2, gotSpans2, err := decodeResult(encodeResult(res, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, gotRes2) || gotSpans2 != nil {
+		t.Fatalf("span-free result: %+v spans %+v", gotRes2, gotSpans2)
 	}
 
 	feat := mat.New(2, 3)
@@ -122,7 +140,7 @@ func TestWireRejectsBadPayloads(t *testing.T) {
 	if _, err := decodeInferRequest([]byte("NAIW\x63\x01")); err == nil {
 		t.Fatal("bad version accepted")
 	}
-	if _, err := decodeResult(good); err == nil {
+	if _, _, err := decodeResult(good); err == nil {
 		t.Fatal("wrong message type accepted")
 	}
 	for cut := 0; cut < len(good); cut++ {
@@ -144,8 +162,16 @@ func TestWireRejectsBadPayloads(t *testing.T) {
 	// A hostile count: header + uvarint(2^40) with no elements behind it.
 	hostile := appendHeader(nil, msgResult)
 	hostile = appendUint(hostile, 1<<40)
-	if _, err := decodeResult(hostile); err == nil {
+	if _, _, err := decodeResult(hostile); err == nil {
 		t.Fatal("hostile count accepted")
+	}
+
+	// A result whose span list names a stage outside the taxonomy must be
+	// rejected at decode — it would otherwise index per-stage instruments.
+	badStage := encodeResult(&core.Result{Pred: []int{1}, Depths: []int{1}, NumTargets: 1},
+		[]obs.Span{{Stage: obs.Stage(200)}})
+	if _, _, err := decodeResult(badStage); err == nil {
+		t.Fatal("unknown span stage accepted")
 	}
 
 	// A hostile feature shape in a delta.
@@ -178,7 +204,8 @@ func TestWireRejectsBadPayloads(t *testing.T) {
 // fuzzing is simply no panic and no runaway allocation (the count bound).
 func FuzzWireDecode(f *testing.F) {
 	f.Add(encodeInferRequest(&InferRequest{Version: 1, Targets: []int{0, 1}}))
-	f.Add(encodeResult(&core.Result{Pred: []int{1}, Depths: []int{2}, NumTargets: 1}))
+	f.Add(encodeResult(&core.Result{Pred: []int{1}, Depths: []int{2}, NumTargets: 1},
+		[]obs.Span{{Stage: obs.StageBFS, Dur: time.Millisecond}}))
 	f.Add(encodeShardDelta(&ShardDelta{Version: 2, Src: []int{0}, Dst: []int{1},
 		WeightedSum: []float64{1, 2}}))
 	f.Add(encodeHealthInfo(HealthInfo{ShardID: 1, Shards: 2, Version: 1}))
@@ -186,7 +213,7 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(encodeAck())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		_, _ = decodeInferRequest(b)
-		_, _ = decodeResult(b)
+		_, _, _ = decodeResult(b)
 		_, _ = decodeShardDelta(b)
 		_, _ = decodeHealthInfo(b)
 		_, _ = decodeWireError(b)

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -119,11 +120,20 @@ func buildShardState(m *core.Model, g *graph.Graph, gst *core.Stationary, univer
 	return dep, st, nil
 }
 
-// Infer answers one shard-local batch. A version mismatch — the worker's
-// graph is behind (restarted worker) or ahead of the requested version —
-// returns a *StaleError instead of an answer from the wrong graph; the
-// router replays its delta log and retries.
+// Infer answers one shard-local batch — InferContext with a background
+// context.
 func (w *Worker) Infer(req *InferRequest) (*core.Result, error) {
+	return w.InferContext(context.Background(), req)
+}
+
+// InferContext answers one shard-local batch. The context carries an
+// optional obs.Trace the engine records its spans into (an in-process
+// worker shares the router's trace; a remote worker's HTTP handler starts
+// its own under the router's id). A version mismatch — the worker's graph
+// is behind (restarted worker) or ahead of the requested version — returns
+// a *StaleError instead of an answer from the wrong graph; the router
+// replays its delta log and retries.
+func (w *Worker) InferContext(ctx context.Context, req *InferRequest) (*core.Result, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	if req.Version != 0 && w.version != req.Version {
@@ -134,7 +144,7 @@ func (w *Worker) Infer(req *InferRequest) (*core.Result, error) {
 		// request racing a reconfiguration (it cannot be healed by replay).
 		return nil, &precisionError{shard: w.shardID, have: w.prec, want: req.Precision}
 	}
-	return w.dep.Infer(req.Targets, req.Opt)
+	return w.dep.InferContext(ctx, req.Targets, req.Opt)
 }
 
 // ApplyDelta applies one versioned shard-local delta, leaving the worker's
