@@ -7,12 +7,15 @@ package repro
 // full reproduction run. Suites are trained once per process and cached.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -410,6 +413,7 @@ func BenchmarkInferBaselineJSON(b *testing.B) {
 	baseline.Overload = measureOverload(b)
 	baseline.Precision = measurePrecision(b)
 	baseline.Observability = measureObservability(b)
+	baseline.Failover = measureFailover(b)
 	data, err := json.MarshalIndent(baseline, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -812,6 +816,163 @@ func measureTransport(b *testing.B) benchfmt.TransportStats {
 		HTTPReqPerSec:  httpRPS,
 		HTTPOverLocal:  httpRPS / localRPS,
 	}
+}
+
+// measureFailover prices the replication contract end to end: 2 shards ×
+// 2 HTTP worker replicas behind the daemon's HTTP surface, 64 concurrent
+// clients streaming single-target requests, and one replica's process
+// killed mid-run. Availability is the non-5xx fraction over the whole run,
+// kill included — replication promises a single replica death is invisible
+// to clients, so cmd/benchgate holds a floor just under 1.0 — and P99Us is
+// the post-kill latency tail, where failover and down-marking costs would
+// surface if they leaked into the request path.
+func measureFailover(b *testing.B) benchfmt.FailoverStats {
+	s, err := bench.GetSuite(bench.QuickConfig(), "products-like", "sgc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := s.SettingsDistance()[0]
+	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: set.Ts, TMin: 1, TMax: 2}
+	const shards, reps, clients = 2, 2, 64
+	cfg := shard.Config{Shards: shards, Radius: opt.TMax, Retries: 2, RetryBackoff: time.Millisecond}
+
+	// One worker process stand-in per replica; no deltas flow, so sharing
+	// the read-only benchmark graph is safe. The victim is shard 0's second
+	// replica — its shard keeps a live peer, which is the whole point.
+	groups := make([][]string, shards)
+	var victim *httptest.Server
+	for p := 0; p < shards; p++ {
+		for j := 0; j < reps; j++ {
+			w, werr := shard.NewWorker(s.Model, s.DS.Graph, cfg, p)
+			if werr != nil {
+				b.Fatal(werr)
+			}
+			ws := httptest.NewServer(shard.WorkerHandler(w))
+			defer ws.Close()
+			if p == 0 && j == 1 {
+				victim = ws
+			}
+			groups[p] = append(groups[p], ws.URL)
+		}
+	}
+	rs, err := shard.NewHTTPReplicaSet(groups, shard.HTTPTransportConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := shard.NewRouterTransport(s.Model, s.DS.Graph, cfg, rs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	srv := serve.NewBackend(rt, serve.Config{Opt: opt, MaxBatch: clients, MaxWait: 2 * time.Millisecond})
+	defer srv.Close()
+	front := httptest.NewServer(srv.Handler())
+	defer front.Close()
+
+	targets := s.TestSubset(1 << 30)
+	post := func(v int) (int, error) {
+		body, _ := json.Marshal(map[string][]int{"nodes": {v}})
+		resp, err := http.Post(front.URL+"/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	const warm, run, killAfter = 150 * time.Millisecond, 1100 * time.Millisecond, 400 * time.Millisecond
+	// Warm with the full fleet alive: connection pools fill, routing settles.
+	warmStop := time.Now().Add(warm)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(warmStop); i += clients {
+				if _, err := post(targets[i%len(targets)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// The measured window: kill the victim at killAfter, clients never stop.
+	type sample struct {
+		postKill bool
+		us       int64
+		bad      bool
+	}
+	perClient := make([][]sample, clients)
+	start := time.Now()
+	killAt := start.Add(killAfter)
+	time.AfterFunc(killAfter, func() {
+		victim.CloseClientConnections() // sever kept-alive conns: a real SIGKILL
+		victim.Close()
+	})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Since(start) < run; i += clients {
+				at := time.Now()
+				status, err := post(targets[i%len(targets)])
+				el := time.Since(at)
+				perClient[c] = append(perClient[c], sample{
+					postKill: at.After(killAt),
+					us:       el.Microseconds(),
+					// A transport-level client failure counts against
+					// availability like a 5xx would.
+					bad: err != nil || status >= 500,
+				})
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var requests, bad int
+	var tail []int64
+	for _, ss := range perClient {
+		for _, smp := range ss {
+			requests++
+			if smp.bad {
+				bad++
+			}
+			if smp.postKill {
+				tail = append(tail, smp.us)
+			}
+		}
+	}
+	var p99 int64
+	if len(tail) > 0 {
+		sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+		p99 = tail[int(0.99*float64(len(tail)-1))]
+	}
+	return benchfmt.FailoverStats{
+		Workload:     "products-like/replica-kill",
+		Shards:       shards,
+		Replicas:     reps,
+		Clients:      clients,
+		Requests:     requests,
+		Errors5xx:    bad,
+		Availability: 1 - float64(bad)/float64(requests),
+		P99Us:        p99,
+	}
+}
+
+// BenchmarkFailover reports the replica-kill availability experiment as
+// metrics; the JSON-recorded version feeding the CI gate lives in
+// BenchmarkInferBaselineJSON.
+func BenchmarkFailover(b *testing.B) {
+	var st benchfmt.FailoverStats
+	for i := 0; i < b.N; i++ {
+		st = measureFailover(b)
+	}
+	b.ReportMetric(st.Availability, "availability")
+	b.ReportMetric(float64(st.P99Us), "failover-p99-us")
+	b.ReportMetric(float64(st.Requests), "requests")
 }
 
 // BenchmarkTransportInfer reports the local-vs-HTTP transport comparison as

@@ -21,7 +21,11 @@
 // reference (-min-top1-agreement, default 0.99, 0 skips) and the
 // observability overhead ratio (-max-obs-overhead, default 1.03, 0 skips
 // — a ceiling, not a floor: instrumented serving throughput must stay
-// within 3% of the obs-disabled baseline) — the ratios are
+// within 3% of the obs-disabled baseline) and the replica-kill
+// availability (-min-failover-availability, default 0.99, 0 skips — the
+// non-5xx fraction while one replica of a 2-replica shard is killed under
+// steady traffic; replication promises the death is client-invisible) —
+// the ratios are
 // same-process, same-hardware numbers, so they port across runners even
 // though the absolute req/s numbers do not. Wall-clock ns/op differs across runner hardware, and the
 // Workers>1 variant's B/op moves with GC-driven sync.Pool flushes under
@@ -55,6 +59,7 @@ func main() {
 	minQuantSpeedup := flag.Float64("min-quant-speedup", 2.0, "required int8-vs-f64 kernel throughput ratio (0 skips)")
 	minTop1Agreement := flag.Float64("min-top1-agreement", 0.99, "required int8-vs-f64 top-1 classification agreement (0 skips)")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 1.03, "allowed baseline-vs-instrumented serving throughput ratio (0 skips)")
+	minFailoverAvail := flag.Float64("min-failover-availability", 0.99, "required non-5xx fraction during the replica-kill experiment (0 skips)")
 	gateList := flag.String("gate", "infer/distance-multibatch",
 		"comma-separated benchmark names whose B/op is gated")
 	flag.Parse()
@@ -220,6 +225,20 @@ func main() {
 		} else if ob.OverheadX > *maxObsOverhead {
 			fmt.Printf("benchgate: FAIL — observability overhead %.3fx above allowed %.3fx\n",
 				ob.OverheadX, *maxObsOverhead)
+			failed = true
+		}
+	}
+
+	fo := cur.Failover
+	fmt.Printf("\nfailover %-31s %10d requests, %d 5xx (availability %.4f, post-kill p99 %dus, %d shards x %d replicas, %d clients)\n",
+		fo.Workload, fo.Requests, fo.Errors5xx, fo.Availability, fo.P99Us, fo.Shards, fo.Replicas, fo.Clients)
+	if *minFailoverAvail > 0 {
+		if fo.Requests == 0 {
+			fmt.Println("benchgate: FAIL — current run recorded no failover measurement")
+			failed = true
+		} else if fo.Availability < *minFailoverAvail {
+			fmt.Printf("benchgate: FAIL — failover availability %.4f below required %.4f\n",
+				fo.Availability, *minFailoverAvail)
 			failed = true
 		}
 	}

@@ -37,6 +37,7 @@ var exportedDocPackages = map[string]bool{
 	"internal/mat":    true,
 	"internal/obs":    true,
 	"internal/par":    true,
+	"internal/chaos":  true,
 }
 
 func main() {

@@ -25,13 +25,29 @@
 //
 //	naiserve -shards localhost:9000,localhost:9001 -addr :8080
 //
+// Shards can be replicated: within a shard's group, '|' separates replica
+// addresses, so
+//
+//	naiserve -shards 'a:9000|b:9000,a:9001|b:9001' -addr :8080
+//
+// serves two shards with two replicas each. The router load-balances
+// inference across a shard's healthy replicas, fails over transparently
+// when one dies (503 only when every replica of a shard is down), fans
+// each delta to all replicas, and replays missed deltas to lagging or
+// restarted replicas before re-admitting them — see ARCHITECTURE.md,
+// "Replication & failover", including the zero-downtime worker
+// replacement procedure built on -drain-timeout below.
+//
 // Workers bootstrap deterministically from the same model/graph/depth flags
 // as the router (the router verifies the fit at startup), so no bulk state
 // transfer happens. The router retries transient worker failures with
-// backoff (-shard-retries), marks persistently unreachable shards down
-// (their requests get 503, /healthz degrades), and its background probe
-// (-shard-health-interval) replays missed deltas to workers that restart —
-// a worker rejoin never requires restarting the router.
+// full-jitter backoff (-shard-retries), marks persistently unreachable
+// shards down (their requests get 503, /healthz degrades), and its
+// background probe (-shard-health-interval) replays missed deltas to
+// workers that restart — a worker rejoin never requires restarting the
+// router. On SIGTERM a worker drains instead of dropping requests: it
+// refuses new shard RPCs (so the router diverts to the shard's other
+// replicas), finishes in-flight work within -drain-timeout, then exits.
 //
 // With -precision {f64,f32,int8} propagation runs at a relaxed precision
 // tier: f32 halves the propagation bandwidth, int8 quantizes it (symmetric
@@ -115,10 +131,11 @@ func main() {
 	tmax := flag.Int("tmax", 0, "maximum propagation depth (0 = K)")
 	maxBatch := flag.Int("max-batch", 64, "max targets per coalesced batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for batch mates")
-	shardsFlag := flag.String("shards", "1", "shard layout: an integer P partitions in-process (1 = single deployment); a comma-separated worker address list (host:port,...) routes to worker processes started with -shard-worker")
+	shardsFlag := flag.String("shards", "1", "shard layout: an integer P partitions in-process (1 = single deployment); a comma-separated worker address list (host:port,...) routes to worker processes started with -shard-worker, with '|' separating replica addresses within a shard ('a:9000|b:9000,a:9001')")
 	shardWorker := flag.Int("shard-worker", -1, "serve one shard as a worker process: this flag is the shard id, -shards P (integer) the shard count; exposes the binary shard protocol on -addr")
 	shardRetries := flag.Int("shard-retries", 2, "retries per shard call on transient transport failures (distributed mode)")
 	shardHealthInterval := flag.Duration("shard-health-interval", time.Second, "background worker health-probe interval in distributed mode (0 disables; probes also replay missed deltas to restarted workers)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM: a -shard-worker stops accepting new RPCs immediately and finishes in-flight work within this window before exiting")
 	cacheSize := flag.Int("cache-size", 4096, "per-node result-cache capacity in entries (0 disables; delta-aware invalidation keeps answers exact)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max HTTP request body size in bytes")
 	maxPending := flag.Int("max-pending", 4096, "admission budget: max targets queued+in-flight before 429s (0 disables)")
@@ -149,7 +166,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	shardCount, workerAddrs, err := parseShards(*shardsFlag)
+	shardCount, workerGroups, err := parseShards(*shardsFlag)
 	if err != nil {
 		fail(err)
 	}
@@ -157,7 +174,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *shardWorker >= 0 && workerAddrs != nil {
+	if *shardWorker >= 0 && workerGroups != nil {
 		fail(fmt.Errorf("-shard-worker needs an integer -shards (the shard count), not an address list"))
 	}
 	if *shardWorker >= shardCount {
@@ -231,12 +248,16 @@ func main() {
 		// started under router-supplied ids so the halves stitch.
 		wobs := obs.New(obs.Options{RingSize: *traceRing, SlowThreshold: *traceSlow, Logger: logger})
 		startDebugServer(logger, *debugAddr)
+		// On SIGTERM the worker drains: StartDrain makes every shard RPC
+		// answer 503 (the router diverts to the shard's other replicas and
+		// the probe takes this one out of rotation), then Shutdown lets
+		// in-flight requests finish inside the -drain-timeout budget.
 		runServer(logger, &http.Server{
 			Addr:         *addr,
 			Handler:      shard.WorkerHandlerObs(w, wobs),
 			ReadTimeout:  *readTimeout,
 			WriteTimeout: *writeTimeout,
-		})
+		}, *drainTimeout, w.StartDrain)
 		return
 	}
 
@@ -246,7 +267,7 @@ func main() {
 	// entirely — the router builds only shard-local state, so the daemon
 	// never materializes a whole-graph normalization it won't serve from.
 	var dep *core.Deployment
-	if (shardCount <= 1 && workerAddrs == nil) || *mode == "distance" {
+	if (shardCount <= 1 && workerGroups == nil) || *mode == "distance" {
 		if dep, err = core.NewDeployment(m, g); err != nil {
 			fail(err)
 		}
@@ -293,10 +314,16 @@ func main() {
 	// from (m, g); a distance-mode tuning deployment's global caches are
 	// left for the GC afterwards.
 	var backend serve.Backend = dep
-	if workerAddrs != nil {
-		tr := shard.NewHTTPTransport(workerAddrs, shard.HTTPTransportConfig{})
+	if workerGroups != nil {
+		// Every address layout goes through a ReplicaSet — a plain
+		// one-address-per-shard list is just the R=1 degenerate case, so the
+		// replicated and unreplicated paths share one code path.
+		tr, terr := shard.NewHTTPReplicaSet(workerGroups, shard.HTTPTransportConfig{})
+		if terr != nil {
+			fail(terr)
+		}
 		rt, rerr := shard.NewRouterTransport(m, g,
-			shard.Config{Shards: len(workerAddrs), Radius: iopt.TMax, Retries: *shardRetries, Precision: prec}, tr)
+			shard.Config{Shards: len(workerGroups), Radius: iopt.TMax, Retries: *shardRetries, Precision: prec}, tr)
 		if rerr != nil {
 			fail(fmt.Errorf("dialing shard workers: %w (are all workers up, built from the same model/graph/depth flags?)", rerr))
 		}
@@ -304,10 +331,14 @@ func main() {
 		if *shardHealthInterval > 0 {
 			rt.StartHealthProbe(*shardHealthInterval)
 		}
+		replicas := make([]int, len(workerGroups))
+		for p, grp := range workerGroups {
+			replicas[p] = len(grp)
+		}
 		logger.Info("distributed sharding",
-			"shards", rt.Shards(), "workers", *shardsFlag, "radius", rt.Radius(),
-			"precision", rt.Precision().String(), "retries", *shardRetries,
-			"health_interval", *shardHealthInterval)
+			"shards", rt.Shards(), "workers", *shardsFlag, "replicas", replicas,
+			"radius", rt.Radius(), "precision", rt.Precision().String(),
+			"retries", *shardRetries, "health_interval", *shardHealthInterval)
 		backend = rt
 	} else if shardCount > 1 {
 		rt, rerr := shard.NewRouter(m, g, shard.Config{Shards: shardCount, Radius: iopt.TMax, Precision: prec})
@@ -356,7 +387,7 @@ func main() {
 		Handler:      srv.Handler(),
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
-	})
+	}, *drainTimeout, nil)
 }
 
 // newLogger builds the process logger from -log-format. Logs go to stderr
@@ -388,8 +419,11 @@ func startDebugServer(logger *slog.Logger, addr string) {
 }
 
 // runServer serves until the listener fails or SIGINT/SIGTERM asks for a
-// graceful shutdown; both the daemon and worker modes end here.
-func runServer(logger *slog.Logger, hs *http.Server) {
+// graceful drain; both the daemon and worker modes end here. preShutdown
+// (optional) runs before Shutdown — a worker passes StartDrain so new shard
+// RPCs are refused (503, diverting the router to other replicas) while
+// in-flight ones finish inside the drain budget.
+func runServer(logger *slog.Logger, hs *http.Server, drain time.Duration, preShutdown func()) {
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
@@ -398,31 +432,43 @@ func runServer(logger *slog.Logger, hs *http.Server) {
 	case err := <-done:
 		fail(err)
 	case <-sig:
-		logger.Info("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		logger.Info("draining", "timeout", drain)
+		if preShutdown != nil {
+			preShutdown()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		_ = hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Warn("drain timeout exceeded, exiting with requests in flight", "err", err)
+			return
+		}
+		logger.Info("drained cleanly")
 	}
 }
 
 // parseShards reads the -shards flag: an integer is an in-process shard
-// count, anything else a comma-separated worker address list (one worker
-// per shard, index = shard id).
-func parseShards(s string) (count int, addrs []string, err error) {
+// count, anything else a comma-separated list of shard groups (index =
+// shard id), each group a '|'-separated replica address list. Uneven
+// replica counts are fine — replication is per shard.
+func parseShards(s string) (count int, groups [][]string, err error) {
 	if n, aerr := strconv.Atoi(s); aerr == nil {
 		if n < 1 {
 			return 0, nil, fmt.Errorf("-shards %d: want ≥ 1 or an address list", n)
 		}
 		return n, nil, nil
 	}
-	for _, a := range strings.Split(s, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			return 0, nil, fmt.Errorf("-shards %q: empty worker address", s)
+	for _, grp := range strings.Split(s, ",") {
+		var addrs []string
+		for _, a := range strings.Split(grp, "|") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return 0, nil, fmt.Errorf("-shards %q: empty worker address", s)
+			}
+			addrs = append(addrs, a)
 		}
-		addrs = append(addrs, a)
+		groups = append(groups, addrs)
 	}
-	return len(addrs), addrs, nil
+	return len(groups), groups, nil
 }
 
 // tuneThreshold converts a validation-distance quantile into T_s, matching

@@ -186,6 +186,23 @@ type ObservabilityStats struct {
 	OverheadX         float64 `json:"overhead_x"`
 }
 
+// FailoverStats records the availability experiment: R-way replicated
+// shards under steady concurrent traffic, with one replica killed
+// mid-stream. Availability is the non-5xx fraction over the whole run
+// (kill included) — the replication contract says a single replica death
+// is invisible to clients — and the p99 covers the post-kill window, when
+// failover and down-marking costs would show up if they leaked.
+type FailoverStats struct {
+	Workload     string  `json:"workload"`
+	Shards       int     `json:"shards"`
+	Replicas     int     `json:"replicas"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	Errors5xx    int     `json:"errors_5xx"`
+	Availability float64 `json:"availability"`
+	P99Us        int64   `json:"failover_p99_us"`
+}
+
 // File is the full BENCH_infer.json document.
 type File struct {
 	Dataset       string             `json:"dataset"`
@@ -205,6 +222,7 @@ type File struct {
 	Overload      OverloadStats      `json:"overload"`
 	Precision     PrecisionStats     `json:"precision"`
 	Observability ObservabilityStats `json:"observability"`
+	Failover      FailoverStats      `json:"failover"`
 }
 
 // Load reads and parses a BENCH_infer.json file.

@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// okTransport answers every call successfully, so any failure a test sees
+// was injected.
+type okTransport struct{}
+
+func (okTransport) Infer(context.Context, int, *shard.InferRequest) (*core.Result, error) {
+	return &core.Result{}, nil
+}
+func (okTransport) ApplyDelta(context.Context, int, *shard.ShardDelta) error { return nil }
+func (okTransport) Health(context.Context, int) (shard.HealthInfo, error) {
+	return shard.HealthInfo{Version: 1}, nil
+}
+func (okTransport) Close() error { return nil }
+
+// trace runs a fixed call sequence and records each call's pass/fail bit.
+func trace(in *Injector, calls int) []bool {
+	ctx := context.Background()
+	out := make([]bool, 0, 3*calls)
+	for i := 0; i < calls; i++ {
+		_, err := in.Infer(ctx, i%3, &shard.InferRequest{})
+		out = append(out, err == nil)
+		err = in.ApplyDelta(ctx, i%3, &shard.ShardDelta{})
+		out = append(out, err == nil)
+		_, err = in.Health(ctx, i%3)
+		out = append(out, err == nil)
+	}
+	return out
+}
+
+// TestDeterministicSchedule: the same seed and call sequence replays the
+// same fault schedule, and a different seed produces a different one — the
+// property that makes chaos suites reproducible.
+func TestDeterministicSchedule(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		in := New(okTransport{}, seed)
+		in.AddRule(Rule{Op: OpAny, Shard: AnyShard, PFail: 0.3, PDropReply: 0.1})
+		return in
+	}
+	a, b := trace(mk(42), 200), trace(mk(42), 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := trace(mk(43), 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 600-call schedules")
+	}
+	injected := false
+	for _, ok := range a {
+		if !ok {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("PFail=0.3 rule injected nothing in 600 calls")
+	}
+}
+
+// TestImperativeKnobs: FailNext counts down over Infer/ApplyDelta (never
+// Health), SetDropDeltas fails only deltas, and both report through the
+// injected-fault counter.
+func TestImperativeKnobs(t *testing.T) {
+	ctx := context.Background()
+	in := New(okTransport{}, 1)
+
+	in.FailNext(2)
+	if _, err := in.Health(ctx, 0); err != nil {
+		t.Fatalf("FailNext hit Health: %v", err)
+	}
+	if _, err := in.Infer(ctx, 0, &shard.InferRequest{}); !shard.IsTransient(err) {
+		t.Fatalf("first failNext call: got %v, want transient", err)
+	}
+	if err := in.ApplyDelta(ctx, 0, &shard.ShardDelta{}); !shard.IsTransient(err) {
+		t.Fatalf("second failNext call: got %v, want transient", err)
+	}
+	if _, err := in.Infer(ctx, 0, &shard.InferRequest{}); err != nil {
+		t.Fatalf("failNext budget exhausted but still failing: %v", err)
+	}
+
+	in.SetDropDeltas(true)
+	if err := in.ApplyDelta(ctx, 1, &shard.ShardDelta{}); !shard.IsTransient(err) {
+		t.Fatalf("dropDeltas: got %v, want transient", err)
+	}
+	if _, err := in.Infer(ctx, 1, &shard.InferRequest{}); err != nil {
+		t.Fatalf("dropDeltas hit Infer: %v", err)
+	}
+	in.SetDropDeltas(false)
+	if err := in.ApplyDelta(ctx, 1, &shard.ShardDelta{}); err != nil {
+		t.Fatalf("dropDeltas cleared but deltas still failing: %v", err)
+	}
+
+	if got := in.Injected(); got != 3 {
+		t.Fatalf("injected counter %d, want 3", got)
+	}
+}
+
+// TestPartitionAndHeal: a partitioned index fails every call type with a
+// transient error; other indices are untouched; Heal() reconnects.
+func TestPartitionAndHeal(t *testing.T) {
+	ctx := context.Background()
+	in := New(okTransport{}, 1)
+	in.Partition(2)
+
+	if _, err := in.Infer(ctx, 2, &shard.InferRequest{}); !shard.IsTransient(err) {
+		t.Fatalf("partitioned Infer: got %v, want transient", err)
+	}
+	if _, err := in.Health(ctx, 2); !shard.IsTransient(err) {
+		t.Fatalf("partitioned Health: got %v, want transient", err)
+	}
+	if _, err := in.Infer(ctx, 0, &shard.InferRequest{}); err != nil {
+		t.Fatalf("unpartitioned index failed: %v", err)
+	}
+
+	in.Partition(AnyShard)
+	if _, err := in.Infer(ctx, 0, &shard.InferRequest{}); !shard.IsTransient(err) {
+		t.Fatalf("Partition(AnyShard) let a call through: %v", err)
+	}
+	in.Heal(AnyShard)
+	if _, err := in.Infer(ctx, 2, &shard.InferRequest{}); !shard.IsTransient(err) {
+		t.Fatal("healing AnyShard healed a specific partition too")
+	}
+	in.Heal()
+	if _, err := in.Infer(ctx, 2, &shard.InferRequest{}); err != nil {
+		t.Fatalf("healed index still failing: %v", err)
+	}
+}
+
+// TestRuleScoping: rules match on op and shard index; a dropped reply is a
+// transient error even though the inner call ran.
+func TestRuleScoping(t *testing.T) {
+	ctx := context.Background()
+	in := New(okTransport{}, 1)
+	in.AddRule(Rule{Op: OpInfer, Shard: 1, PFail: 1})
+	in.AddRule(Rule{Op: OpDelta, Shard: 0, PDropReply: 1})
+
+	if _, err := in.Infer(ctx, 1, &shard.InferRequest{}); !shard.IsTransient(err) {
+		t.Fatalf("matching rule did not fire: %v", err)
+	}
+	if _, err := in.Infer(ctx, 0, &shard.InferRequest{}); err != nil {
+		t.Fatalf("rule fired on wrong shard: %v", err)
+	}
+	if _, err := in.Health(ctx, 1); err != nil {
+		t.Fatalf("rule fired on wrong op: %v", err)
+	}
+	err := in.ApplyDelta(ctx, 0, &shard.ShardDelta{})
+	var te *shard.TransportError
+	if !errors.As(err, &te) || !te.Transient {
+		t.Fatalf("dropped reply: got %v, want transient TransportError", err)
+	}
+}
+
+// TestDelayRule: Delay sleeps matching calls, bounded by the context.
+func TestDelayRule(t *testing.T) {
+	in := New(okTransport{}, 1)
+	in.AddRule(Rule{Op: OpInfer, Shard: AnyShard, Delay: 30 * time.Millisecond})
+
+	start := time.Now()
+	if _, err := in.Infer(context.Background(), 0, &shard.InferRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 30*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want ≥ 30ms", e)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	in.AddRule(Rule{Op: OpInfer, Shard: AnyShard, Delay: 10 * time.Second})
+	start = time.Now()
+	in.Infer(ctx, 0, &shard.InferRequest{})
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("context did not bound the delay: slept %v", e)
+	}
+}

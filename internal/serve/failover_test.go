@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// newReplicatedServer builds the daemon over 2 shards × 2 replicas with a
+// chaos injector between the router's ReplicaSet and the flat transport,
+// so tests can partition exactly one replica (flat index p*2+j). transport
+// selects the flat layer: in-process workers or HTTP workers over real
+// loopback sockets. The reference deployment sees the same graph.
+func newReplicatedServer(t *testing.T, transport string, cfg Config) (*Server, *shard.Router, *chaos.Injector, *core.Deployment) {
+	t.Helper()
+	ds, m := fixture(t)
+	if cfg.Opt.TMax == 0 {
+		cfg.Opt = core.InferenceOptions{Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: m.K}
+	}
+	const shards, reps = 2, 2
+	groups := [][]int{{0, 1}, {2, 3}}
+
+	var flat shard.Transport
+	switch transport {
+	case "local":
+		var workers []*shard.Worker
+		for p := 0; p < shards; p++ {
+			for j := 0; j < reps; j++ {
+				w, err := shard.NewWorker(m, ds.Graph.Clone(), shard.Config{Shards: shards}, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				workers = append(workers, w)
+			}
+		}
+		flat = shard.NewLocalTransport(workers)
+	case "http":
+		var addrs []string
+		for p := 0; p < shards; p++ {
+			for j := 0; j < reps; j++ {
+				w, err := shard.NewWorker(m, ds.Graph.Clone(), shard.Config{Shards: shards}, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv := httptest.NewServer(shard.WorkerHandlerObs(w, obs.New(obs.Options{RingSize: 16})))
+				t.Cleanup(srv.Close)
+				addrs = append(addrs, srv.URL)
+			}
+		}
+		flat = shard.NewHTTPTransport(addrs, shard.HTTPTransportConfig{CallTimeout: 5 * time.Second})
+	default:
+		t.Fatalf("unknown transport %q", transport)
+	}
+
+	inj := chaos.New(flat, 11)
+	rs, err := shard.NewReplicaSet(inj, groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.NewRouterTransport(m, ds.Graph.Clone(),
+		shard.Config{Shards: shards, Retries: 2, RetryBackoff: time.Millisecond}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	s := NewBackend(rt, cfg)
+	t.Cleanup(s.Close)
+	dep, err := core.NewDeployment(m, ds.Graph.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rt, inj, dep
+}
+
+// TestFailoverUnderFire is the replication acceptance gate, run over both
+// transports and meant for -race: a 2-replica shard loses one replica
+// mid-stream under Zipf-skewed inference traffic with concurrent graph
+// deltas, and clients must see zero 5xx; after the partition heals, one
+// probe re-admits the replica (replaying the deltas it missed) and every
+// answer is bit-identical to an unsharded deployment that saw everything.
+func TestFailoverUnderFire(t *testing.T) {
+	for _, transport := range []string{"local", "http"} {
+		t.Run(transport, func(t *testing.T) {
+			s, rt, inj, dep := newReplicatedServer(t, transport,
+				Config{MaxBatch: 8, MaxWait: time.Millisecond})
+			ds, m := fixture(t)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			// Zipf-skewed targets over the test split, one stream per client.
+			targets := ds.Split.Test
+			var (
+				wg       sync.WaitGroup
+				stop     = make(chan struct{})
+				requests atomic.Uint64
+				fiveXX   atomic.Uint64
+				lastBad  atomic.Value
+			)
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100 + c)))
+					zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(targets)-1))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						body, _ := json.Marshal(map[string][]int{
+							"nodes": {targets[zipf.Uint64()]}})
+						resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+						if err != nil {
+							// A transport-level client error is not an HTTP
+							// status; surface it like a 5xx.
+							fiveXX.Add(1)
+							lastBad.Store(err.Error())
+							continue
+						}
+						resp.Body.Close()
+						requests.Add(1)
+						if resp.StatusCode >= 500 {
+							fiveXX.Add(1)
+							lastBad.Store(fmt.Sprintf("status %d", resp.StatusCode))
+						}
+					}
+				}(c)
+			}
+
+			// Mid-stream: partition shard 0's second replica, then keep
+			// committing deltas it will miss. The unsharded reference sees the
+			// same deltas, so the final equivalence check is exact.
+			time.Sleep(50 * time.Millisecond)
+			inj.Partition(1) // flat index 1 = shard 0, replica 1
+			// Let the storm discover the partition through Infer (the
+			// transparent failover under test) before the delta fan-out also
+			// marks the replica down.
+			time.Sleep(60 * time.Millisecond)
+			f := ds.Graph.F()
+			var deltas []graph.Delta
+			for w := 0; w < 4; w++ {
+				row := make([]float64, f)
+				row[w%f] = 1
+				deltas = append(deltas, graph.Delta{
+					Features: mat.FromRows([][]float64{row}),
+					Labels:   []int{0},
+					Src:      []int{w % ds.Graph.N()},
+					Dst:      []int{ds.Graph.N() + w},
+				})
+			}
+			for di, d := range deltas {
+				if _, err := s.ApplyDelta(d.Clone()); err != nil {
+					t.Errorf("delta %d under fire: %v", di, err)
+				}
+				if _, err := dep.ApplyDelta(d.Clone()); err != nil {
+					t.Errorf("reference delta %d: %v", di, err)
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			time.Sleep(100 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+
+			if n := fiveXX.Load(); n != 0 {
+				t.Fatalf("%d/%d requests got 5xx during failover (last: %v)",
+					n, requests.Load(), lastBad.Load())
+			}
+			if requests.Load() == 0 {
+				t.Fatal("no traffic reached the daemon — the storm tested nothing")
+			}
+			if inj.Injected() == 0 {
+				t.Fatal("chaos injected no faults — the partition never bit")
+			}
+			if f, _ := rt.FailoverCounters(); f == 0 {
+				t.Fatal("no failovers recorded despite a partitioned replica")
+			}
+
+			// Clean rejoin: heal, one probe replays the missed deltas, every
+			// replica reports up at the router's version.
+			inj.Heal()
+			rt.Probe(context.Background())
+			if !rt.Healthy() {
+				t.Fatalf("router degraded after heal: %+v", rt.ShardHealth())
+			}
+			for _, st := range rt.ShardHealth() {
+				for _, rst := range st.Replicas {
+					if rst.State != "up" || rst.Version != rt.Version() {
+						t.Fatalf("shard %d replica %d after rejoin: %+v (router at %d)",
+							st.Shard, rst.Replica, rst, rt.Version())
+					}
+				}
+			}
+
+			// Bit-identity against the unsharded deployment, original and
+			// delta-appended nodes alike.
+			all := append([]int(nil), targets...)
+			for v := ds.Graph.N(); v < dep.Graph.N(); v++ {
+				all = append(all, v)
+			}
+			want, err := dep.Infer(all, core.InferenceOptions{
+				Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: m.K})
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds, depths, err := s.Classify(all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Pred {
+				if preds[i] != want.Pred[i] || depths[i] != want.Depths[i] {
+					t.Fatalf("target %d: replicated (%d,%d) != reference (%d,%d)",
+						all[i], preds[i], depths[i], want.Pred[i], want.Depths[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHealthzReportsReplicas: with a replicated backend, /healthz and
+// /stats carry the per-replica state blocks, and /metrics exposes the
+// nai_shard_replica_up series plus the failover counters.
+func TestHealthzReportsReplicas(t *testing.T) {
+	s, rt, inj, _ := newReplicatedServer(t, "local",
+		Config{MaxBatch: 8, MaxWait: time.Millisecond})
+	ds, _ := fixture(t)
+	inj.Partition(1)
+	if _, _, err := s.Classify(ds.Split.Test); err != nil {
+		t.Fatalf("classify with one replica partitioned: %v", err)
+	}
+	rt.Probe(context.Background())
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// One replica down with a live peer: the shard is up, the daemon healthy.
+	if resp.StatusCode != http.StatusOK || !hr.OK {
+		t.Fatalf("healthz with a spare replica down: %d %+v, want 200 ok", resp.StatusCode, hr)
+	}
+	if len(hr.Shards) != 2 || len(hr.Shards[0].Replicas) != 2 {
+		t.Fatalf("healthz shards %+v, want 2 shards × 2 replica blocks", hr.Shards)
+	}
+	if st := hr.Shards[0].Replicas[1]; st.State == "up" || st.Err == "" {
+		t.Fatalf("partitioned replica block %+v, want down with an error", st)
+	}
+	if st := hr.Shards[1].Replicas[0]; st.State != "up" {
+		t.Fatalf("healthy replica block %+v, want up", st)
+	}
+
+	if st := s.Stats(); len(st.Shards) != 2 || len(st.Shards[0].Replicas) != 2 {
+		t.Fatalf("stats shards %+v, want replica blocks", st.Shards)
+	}
+
+	body := metricsBody(t, ts.URL)
+	for _, want := range []string{
+		`nai_shard_replica_up{shard="0",replica="0"} 1`,
+		`nai_shard_replica_up{shard="0",replica="1"} 0`,
+		`nai_shard_replica_up{shard="1",replica="0"} 1`,
+		"nai_shard_failovers_total",
+		"nai_shard_replica_retries_total",
+	} {
+		if !bytes.Contains([]byte(body), []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// metricsBody scrapes /metrics and returns the text exposition.
+func metricsBody(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/cache"
+	"repro/internal/shard"
 )
 
 // registerGauges installs the server-level gauges on the obs registry.
@@ -83,7 +84,8 @@ func (s *Server) registerGauges() {
 			"Per-shard health (1 = serving) from the router's probes.", "shard")
 		vers := reg.GaugeVec("nai_shard_version",
 			"Per-shard graph version at the last successful probe.", "shard")
-		for i := range hr.ShardHealth() {
+		health := hr.ShardHealth()
+		for i := range health {
 			p := i
 			up.WithFunc(func() float64 {
 				if st := hr.ShardHealth(); p < len(st) && st[p].Up {
@@ -98,5 +100,46 @@ func (s *Server) registerGauges() {
 				return 0
 			}, strconv.Itoa(p))
 		}
+		// Replica series only exist when the backend routes over a replica
+		// set. Replica counts are fixed at construction, so enumerating the
+		// label space once at registration is safe.
+		if replicated(health) {
+			rup := reg.GaugeVec("nai_shard_replica_up",
+				"Per-replica health (1 = up, 0 = lagging or down) from the router's probes.",
+				"shard", "replica")
+			for i := range health {
+				p := i
+				for j := range health[p].Replicas {
+					r := j
+					rup.WithFunc(func() float64 {
+						st := hr.ShardHealth()
+						if p < len(st) && r < len(st[p].Replicas) && st[p].Replicas[r].State == "up" {
+							return 1
+						}
+						return 0
+					}, strconv.Itoa(p), strconv.Itoa(r))
+				}
+			}
+		}
 	}
+
+	if fr, ok := s.backend.(FailoverReporter); ok {
+		reg.GaugeFunc("nai_shard_failovers_total",
+			"Times inference failed over away from a replica (cumulative).",
+			func() float64 { f, _ := fr.FailoverCounters(); return float64(f) })
+		reg.GaugeFunc("nai_shard_replica_retries_total",
+			"Extra per-replica inference attempts beyond the first (cumulative).",
+			func() float64 { _, r := fr.FailoverCounters(); return float64(r) })
+	}
+}
+
+// replicated reports whether any shard's status carries replica detail —
+// i.e. the backend routes over a ReplicaSet rather than a flat transport.
+func replicated(health []shard.ShardStatus) bool {
+	for _, st := range health {
+		if len(st.Replicas) > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -226,6 +226,15 @@ type ShardHealthReporter interface {
 	Healthy() bool
 }
 
+// FailoverReporter is an optional Backend extension for replicated sharded
+// backends: cumulative failover counters feed the /metrics surface.
+// shard.Router implements it (delegating to its ReplicaSet transport).
+type FailoverReporter interface {
+	// FailoverCounters reports how many times inference failed over away
+	// from a replica, and how many extra per-replica attempts routing made.
+	FailoverCounters() (failovers, replicaRetries uint64)
+}
+
 // PrecisionReporter is an optional Backend extension reporting the
 // precision tier the backend serves at, surfaced in /stats. Both
 // core.Deployment and shard.Router implement it; a backend without it is

@@ -50,8 +50,22 @@ func WorkerHandler(w *Worker) http.Handler {
 // (subgraph size, graph version, shard id) are registered on o.Reg — so
 // call WorkerHandlerObs once per Obs.
 func WorkerHandlerObs(w *Worker, o *obs.Obs) http.Handler {
+	// refuseDraining rejects new RPCs on a worker that has started its
+	// graceful drain: 503 is a transient error to the transport, so the
+	// router (or a ReplicaSet fronting this replica) routes around it
+	// while in-flight requests — already past this check — finish.
+	refuseDraining := func(rw http.ResponseWriter) bool {
+		if !w.Draining() {
+			return false
+		}
+		http.Error(rw, "worker draining", http.StatusServiceUnavailable)
+		return true
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/shard/infer", func(rw http.ResponseWriter, r *http.Request) {
+		if refuseDraining(rw) {
+			return
+		}
 		body, ok := readWireBody(rw, r)
 		if !ok {
 			return
@@ -75,6 +89,9 @@ func WorkerHandlerObs(w *Worker, o *obs.Obs) http.Handler {
 		writeWire(rw, encodeResult(res, spans))
 	})
 	mux.HandleFunc("/shard/delta", func(rw http.ResponseWriter, r *http.Request) {
+		if refuseDraining(rw) {
+			return
+		}
 		body, ok := readWireBody(rw, r)
 		if !ok {
 			return
@@ -93,6 +110,11 @@ func WorkerHandlerObs(w *Worker, o *obs.Obs) http.Handler {
 	mux.HandleFunc("/shard/health", func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(rw, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		// A draining worker reports unhealthy so probes take it out of
+		// rotation before its process exits.
+		if refuseDraining(rw) {
 			return
 		}
 		writeWire(rw, encodeHealthInfo(w.Health()))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,10 +34,17 @@ type Config struct {
 	// retried (with exponential backoff) before the shard is declared
 	// unavailable; ≤0 defaults to 2 (three attempts total).
 	Retries int
-	// RetryBackoff is the first retry's backoff, doubling per attempt; ≤0
-	// defaults to 5ms. In-process transports never fail transiently, so
+	// RetryBackoff is the first retry's backoff cap, doubling per attempt;
+	// ≤0 defaults to 5ms. In-process transports never fail transiently, so
 	// both knobs only matter for networked workers.
 	RetryBackoff time.Duration
+	// Jitter draws each retry's actual sleep from [0, cap), where cap is the
+	// current backoff (full jitter): when a shard dies under load, the
+	// concurrent callers that all failed together would otherwise re-dial in
+	// lockstep every backoff doubling — a retry storm hammering the worker
+	// just as it restarts. nil defaults to a thread-safe uniform draw; tests
+	// inject a deterministic source.
+	Jitter func(max time.Duration) time.Duration
 	// Precision is the tier every shard serves at (zero value = f64, the
 	// bit-pinned reference). The whole fleet runs one tier: the handshake
 	// rejects a worker bootstrapped at a different tier, and a racing
@@ -118,6 +126,7 @@ type Router struct {
 	transport Transport
 	retries   int
 	backoff   time.Duration
+	jitter    func(max time.Duration) time.Duration
 
 	// version counts applied deltas (monotone, part of the serve.Backend
 	// surface shared with core.Deployment).
@@ -225,6 +234,12 @@ func NewRouterTransport(m *core.Model, g *graph.Graph, cfg Config, t Transport) 
 		r.shards[p] = buildRuntime(g, asg.Owned[p], radius)
 		r.expNodes[p] = len(r.shards[p].universe)
 	}
+	// A replica-aware transport (ReplicaSet) needs the router's delta log
+	// and validation to heal lagging replicas in place; wire it before the
+	// handshake so replica probes validate from the start.
+	if cs, ok := t.(interface{ SetController(ReplicaController) }); ok {
+		cs.SetController(r)
+	}
 	for p := range r.health {
 		if err := r.handshake(context.Background(), p); err != nil {
 			return nil, fmt.Errorf("shard %d handshake: %w", p, err)
@@ -241,6 +256,9 @@ func newRouterCommon(m *core.Model, g *graph.Graph, st *core.Stationary, asg *As
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = defaultRetryBackoff
 	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = fullJitter
+	}
 	r := &Router{
 		model:       m,
 		global:      g,
@@ -253,6 +271,7 @@ func newRouterCommon(m *core.Model, g *graph.Graph, st *core.Stationary, asg *As
 		shards:      make([]*shardRuntime, asg.P),
 		retries:     cfg.Retries,
 		backoff:     cfg.RetryBackoff,
+		jitter:      cfg.Jitter,
 		deltaLog:    make([][]*ShardDelta, asg.P),
 		expNodes:    make([]int, asg.P),
 		health:      make([]*shardHealth, asg.P),
@@ -337,9 +356,21 @@ func (r *Router) validateWorker(p int, info HealthInfo) error {
 	return nil
 }
 
-// withRetry runs call, retrying transient failures with exponential backoff
-// up to the configured attempt budget; the final error is returned as-is
-// (callers classify it).
+// fullJitter is the default retry jitter: a uniform draw over [0, max).
+// The top-level math/rand functions are safe for concurrent callers.
+func fullJitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(max)))
+}
+
+// withRetry runs call, retrying transient failures up to the configured
+// attempt budget, sleeping a full-jittered draw from an exponentially
+// doubling backoff cap between attempts (concurrent callers failing
+// against the same dead shard decorrelate instead of retrying in
+// synchronized waves); the final error is returned as-is (callers
+// classify it).
 func (r *Router) withRetry(ctx context.Context, p int, call func() error) error {
 	backoff := r.backoff
 	var err error
@@ -350,7 +381,7 @@ func (r *Router) withRetry(ctx context.Context, p int, call func() error) error 
 		select {
 		case <-ctx.Done():
 			return err
-		case <-time.After(backoff):
+		case <-time.After(r.jitter(backoff)):
 		}
 		backoff *= 2
 	}
@@ -427,12 +458,30 @@ func (r *Router) catchUp(ctx context.Context, p int, have uint64) error {
 	h := r.health[p]
 	h.replay.Lock()
 	defer h.replay.Unlock()
+	replay, err := r.ReplayDeltas(p, have)
+	if err != nil {
+		return err
+	}
+	for _, sd := range replay {
+		if err := r.transport.ApplyDelta(ctx, p, sd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayDeltas snapshots the delta-log suffix that takes shard p's worker
+// from graph version have up to the router's current version (nil when
+// already current). It is half of the ReplicaController surface a
+// ReplicaSet transport heals its lagging replicas through; the router's
+// own catchUp replays the same snapshot.
+func (r *Router) ReplayDeltas(p int, have uint64) ([]*ShardDelta, error) {
 	cur := r.version.Load()
 	if have == cur {
-		return nil // another caller already replayed
+		return nil, nil // another caller already replayed
 	}
 	if have < 1 || have > cur {
-		return &TransportError{Shard: p,
+		return nil, &TransportError{Shard: p,
 			Err: fmt.Errorf("worker graph version %d outside router history [1,%d]", have, cur)}
 	}
 	r.logMu.Lock()
@@ -450,10 +499,26 @@ func (r *Router) catchUp(ctx context.Context, p int, have uint64) error {
 	}
 	replay := append([]*ShardDelta(nil), r.deltaLog[p][lo:hi]...)
 	r.logMu.Unlock()
-	for _, sd := range replay {
-		if err := r.transport.ApplyDelta(ctx, p, sd); err != nil {
-			return err
-		}
+	return replay, nil
+}
+
+// ValidateReplica runs the re-admission checks against one replica's
+// health report: the static handshake parameters always, and the expected
+// subgraph size when the replica claims the current graph version (a
+// lagging replica's node count is checked after its replay instead). The
+// other half of the ReplicaController surface.
+func (r *Router) ValidateReplica(p int, info HealthInfo) error {
+	if p < 0 || p >= len(r.shards) {
+		return fmt.Errorf("shard %d outside partition [0,%d)", p, len(r.shards))
+	}
+	if err := r.validateWorker(p, info); err != nil {
+		return err
+	}
+	r.logMu.Lock()
+	cur, exp := r.version.Load(), r.expNodes[p]
+	r.logMu.Unlock()
+	if info.Version == cur && info.Nodes != exp {
+		return fmt.Errorf("replica subgraph has %d nodes at version %d, want %d", info.Nodes, cur, exp)
 	}
 	return nil
 }
@@ -656,9 +721,14 @@ type ShardStatus struct {
 	Nodes int `json:"nodes"`
 	// Err is the failure that marked the shard down (empty while up).
 	Err string `json:"err,omitempty"`
+	// Replicas breaks the shard's health down per replica when the
+	// transport is a ReplicaSet (absent for single-replica transports):
+	// Up then means "at least one replica is serving".
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
 }
 
-// ShardHealth snapshots every shard's liveness.
+// ShardHealth snapshots every shard's liveness, including per-replica
+// status when the transport replicates shards.
 func (r *Router) ShardHealth() []ShardStatus {
 	out := make([]ShardStatus, len(r.health))
 	for p, h := range r.health {
@@ -669,7 +739,24 @@ func (r *Router) ShardHealth() []ShardStatus {
 		}
 		h.mu.Unlock()
 	}
+	if rs, ok := r.transport.(*ReplicaSet); ok {
+		for p, rh := range rs.ReplicaHealth() {
+			if p < len(out) {
+				out[p].Replicas = rh
+			}
+		}
+	}
 	return out
+}
+
+// FailoverCounters reports the replica-failover and replica-retry totals
+// of a replicated transport (zero for single-replica transports); the
+// serving layer exposes them at /metrics.
+func (r *Router) FailoverCounters() (failovers, replicaRetries uint64) {
+	if rs, ok := r.transport.(*ReplicaSet); ok {
+		return rs.Failovers(), rs.ReplicaRetries()
+	}
+	return 0, 0
 }
 
 // Healthy reports whether every shard is currently marked up.

@@ -99,160 +99,10 @@ func TestRouterTransportHandshake(t *testing.T) {
 	}
 }
 
-// flakyTransport injects transient failures and delta outages in front of a
-// real transport.
-type flakyTransport struct {
-	Transport
-	mu sync.Mutex
-	// failNext transiently fails the next N Infer/ApplyDelta calls.
-	failNext int
-	// dropDeltas transiently fails every ApplyDelta while set, simulating a
-	// worker that is unreachable for replication but owes state later.
-	dropDeltas bool
-}
-
-func (f *flakyTransport) fail(shardID int) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.failNext > 0 {
-		f.failNext--
-		return &TransportError{Shard: shardID, Transient: true, Err: errors.New("injected fault")}
-	}
-	return nil
-}
-
-func (f *flakyTransport) Infer(ctx context.Context, shardID int, req *InferRequest) (*core.Result, error) {
-	if err := f.fail(shardID); err != nil {
-		return nil, err
-	}
-	return f.Transport.Infer(ctx, shardID, req)
-}
-
-func (f *flakyTransport) ApplyDelta(ctx context.Context, shardID int, sd *ShardDelta) error {
-	f.mu.Lock()
-	dropping := f.dropDeltas
-	f.mu.Unlock()
-	if dropping {
-		return &TransportError{Shard: shardID, Transient: true, Err: errors.New("injected delta outage")}
-	}
-	if err := f.fail(shardID); err != nil {
-		return err
-	}
-	return f.Transport.ApplyDelta(ctx, shardID, sd)
-}
-
-func (f *flakyTransport) setDropDeltas(v bool) {
-	f.mu.Lock()
-	f.dropDeltas = v
-	f.mu.Unlock()
-}
-
-func (f *flakyTransport) setFailNext(n int) {
-	f.mu.Lock()
-	f.failNext = n
-	f.mu.Unlock()
-}
-
-// newFlakyRouter builds a router whose local workers sit behind a flaky
-// wrapper, plus the unsharded reference deployment.
-func newFlakyRouter(t *testing.T, p int) (*Router, *flakyTransport, *core.Deployment) {
-	t.Helper()
-	ds, m := fixture(t)
-	workers := make([]*Worker, p)
-	for i := range workers {
-		w, err := NewWorker(m, ds.Graph.Clone(), Config{Shards: p}, i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		workers[i] = w
-	}
-	fl := &flakyTransport{Transport: NewLocalTransport(workers)}
-	rt, err := NewRouterTransport(m, ds.Graph.Clone(), fastRetry(p), fl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dep, err := core.NewDeployment(m, ds.Graph.Clone())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return rt, fl, dep
-}
-
-// TestRetryRecoversTransientFailures: transient faults within the retry
-// budget are invisible to callers; beyond it the shard surfaces as
-// ErrUnavailable, never a hang.
-func TestRetryRecoversTransientFailures(t *testing.T) {
-	ds, m := fixture(t)
-	rt, fl, dep := newFlakyRouter(t, 2)
-	opt := core.InferenceOptions{Mode: core.ModeDistance, Ts: 0.3, TMin: 1, TMax: m.K}
-	want, err := dep.Infer(ds.Split.Test, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	fl.setFailNext(2) // within the budget of Retries=2 (3 attempts)
-	got, err := rt.Infer(ds.Split.Test, opt)
-	if err != nil {
-		t.Fatalf("retry did not absorb transient faults: %v", err)
-	}
-	for i := range want.Pred {
-		if got.Pred[i] != want.Pred[i] || got.Depths[i] != want.Depths[i] {
-			t.Fatalf("answer drifted at %d after retries", i)
-		}
-	}
-
-	fl.setFailNext(1000) // beyond any budget
-	if _, err := rt.Infer(ds.Split.Test, opt); !errors.Is(err, ErrUnavailable) {
-		t.Fatalf("exhausted retries: got %v, want ErrUnavailable", err)
-	}
-	fl.setFailNext(0)
-	if _, err := rt.Infer(ds.Split.Test, opt); err != nil {
-		t.Fatalf("recovered transport still failing: %v", err)
-	}
-}
-
-// TestDeltaOutageHealsByReplay: a delta the router cannot deliver commits
-// anyway, and the starved shard is healed by delta-log replay on its next
-// Infer — the stale-worker path with no worker process involved.
-func TestDeltaOutageHealsByReplay(t *testing.T) {
-	ds, m := fixture(t)
-	rt, fl, dep := newFlakyRouter(t, 2)
-	rng := rand.New(rand.NewSource(99))
-	deltas := testDeltas(ds.Graph, rng)
-
-	fl.setDropDeltas(true)
-	if _, err := dep.ApplyDelta(deltas[0].Clone()); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rt.ApplyDelta(deltas[0].Clone()); err != nil {
-		t.Fatalf("undeliverable delta failed the call: %v", err)
-	}
-	if rt.Version() != 2 {
-		t.Fatalf("router version %d after committed delta, want 2", rt.Version())
-	}
-	if rt.Healthy() {
-		t.Fatal("shards marked up despite delta outage")
-	}
-
-	fl.setDropDeltas(false)
-	opt := core.InferenceOptions{Mode: core.ModeGate, TMin: 1, TMax: m.K}
-	want, err := dep.Infer(ds.Split.Test, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := rt.Infer(ds.Split.Test, opt) // stale workers → catch-up replay
-	if err != nil {
-		t.Fatalf("post-outage infer: %v", err)
-	}
-	for i := range want.Pred {
-		if got.Pred[i] != want.Pred[i] || got.Depths[i] != want.Depths[i] {
-			t.Fatalf("answer drifted at %d after replay", i)
-		}
-	}
-	if !rt.Healthy() {
-		t.Fatal("shards still marked down after successful replay")
-	}
-}
+// The transient-fault and delta-outage suites (formerly driven by an
+// in-package flakyTransport test double) live in failover_test.go in the
+// external shard_test package, driven by the reusable internal/chaos
+// injector — which cannot be imported from this file (import cycle).
 
 // TestDeadShardFailsFast: with a worker killed, requests owned by its shard
 // fail quickly with ErrUnavailable (503 at the serving layer), the health

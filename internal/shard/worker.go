@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -41,6 +42,11 @@ type Worker struct {
 	dep     *core.Deployment
 	st      *core.Stationary
 	version uint64
+	// draining flags a worker being rolled out of the fleet: the HTTP
+	// handler refuses new RPCs with 503 (a transient error the router fails
+	// over past) while in-flight ones finish, so a SIGTERM'd worker process
+	// exits without dropping a request (see naiserve -drain-timeout).
+	draining atomic.Bool
 }
 
 // NewWorker bootstraps shard shardID of cfg.Shards from the global graph:
@@ -257,6 +263,17 @@ func (w *Worker) validateDelta(sd *ShardDelta) error {
 	}
 	return nil
 }
+
+// StartDrain takes the worker out of rotation for graceful replacement:
+// every subsequent wire RPC — including health probes, so the router stops
+// routing here — is refused with 503 while requests already past the
+// handler's drain check run to completion. Irreversible by design: a
+// draining process exits; its replacement bootstraps fresh and rejoins via
+// delta-log replay.
+func (w *Worker) StartDrain() { w.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // Health reports the worker's serving state for the router's probes.
 func (w *Worker) Health() HealthInfo {
